@@ -1,0 +1,151 @@
+// Ablation — the Theorem 1 latency-loss tradeoff, demonstrated.
+//
+// Theorem 1: any scheme that closes the loss-induced gap by keeping the
+// two charging counters consistent must delay traffic. We implement that
+// strawman — a "synchronized charging" transport that retransmits every
+// frame until the receiver's counter confirms it (per-frame ARQ with ack,
+// i.e. the [9,10,29] style feedback loop) — and compare its frame latency
+// against TLC's fire-and-forget (gap settled after the cycle), across loss
+// rates.
+//
+// Expected: identical latency at 0% loss; the sync scheme's tail latency
+// explodes as loss grows, while TLC's stays flat — TLC instead settles the
+// charge at cycle end without touching the data path.
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "exp/metrics.hpp"
+#include "net/link.hpp"
+#include "net/transport.hpp"
+
+using namespace tlc;
+using exp::Table;
+using exp::fmt;
+
+namespace {
+
+struct LatencyResult {
+  double mean_ms = 0;
+  double p95_ms = 0;
+  double delivered_fraction = 0;
+};
+
+constexpr int kFrames = 2'000;
+constexpr Duration kFrameGap = std::chrono::milliseconds{10};
+
+net::RadioConfig lossy_radio(double loss) {
+  net::RadioConfig cfg;
+  cfg.base_rss = Dbm{-85.0};
+  cfg.shadow_sigma_db = 0.0;
+  cfg.baseline_loss = loss;
+  return cfg;
+}
+
+/// Fire-and-forget over the lossy link (what TLC allows the app to do).
+LatencyResult run_tlc_style(double loss) {
+  sim::Scheduler sched;
+  net::RadioModel radio{lossy_radio(loss), Rng{1}};
+  SampleSet latency_ms;
+  int delivered = 0;
+  std::map<std::uint64_t, TimePoint> sent_at;
+
+  net::CellLink::Config link_cfg;
+  link_cfg.propagation_delay = std::chrono::milliseconds{10};
+  net::CellLink link{
+      sched, link_cfg, &radio,
+      [&](const net::Packet& p, TimePoint at) {
+        ++delivered;
+        latency_ms.add(to_seconds(at - sent_at[p.app_seq]) * 1e3);
+      },
+      nullptr};
+
+  for (int i = 0; i < kFrames; ++i) {
+    sched.schedule_at(kTimeZero + kFrameGap * i, [&, i] {
+      net::Packet p;
+      p.app_seq = static_cast<std::uint64_t>(i);
+      p.size = Bytes{1400};
+      sent_at[p.app_seq] = sched.now();
+      link.enqueue(std::move(p));
+    });
+  }
+  sched.run();
+  return {latency_ms.empty() ? 0 : latency_ms.mean(),
+          latency_ms.empty() ? 0 : latency_ms.percentile(95),
+          static_cast<double>(delivered) / kFrames};
+}
+
+/// Counter-synchronized charging: a frame "counts" only when both sides
+/// agree it was delivered, so the sender must retransmit until acked.
+LatencyResult run_sync_style(double loss) {
+  sim::Scheduler sched;
+  net::RadioModel radio{lossy_radio(loss), Rng{2}};
+  SampleSet latency_ms;
+  int delivered = 0;
+  std::map<std::uint64_t, TimePoint> first_sent;
+
+  net::ArqSender* arq_ptr = nullptr;
+  net::CellLink::Config link_cfg;
+  link_cfg.propagation_delay = std::chrono::milliseconds{10};
+  net::CellLink link{
+      sched, link_cfg, &radio,
+      [&](const net::Packet& p, TimePoint at) {
+        // Receiver confirms; the ack takes another propagation delay, and
+        // only the first successful delivery of a frame is counted.
+        sched.schedule_after(std::chrono::milliseconds{10},
+                             [&, seq = p.app_seq, at] {
+                               if (first_sent.contains(seq)) {
+                                 latency_ms.add(
+                                     to_seconds(at - first_sent[seq]) * 1e3);
+                                 first_sent.erase(seq);
+                                 ++delivered;
+                               }
+                               arq_ptr->on_ack(seq);
+                             });
+      },
+      nullptr};
+
+  net::ArqSender::Config arq_cfg;
+  arq_cfg.rto = std::chrono::milliseconds{60};
+  arq_cfg.max_retries = 20;  // sync protocols must keep trying
+  net::ArqSender arq{sched, arq_cfg,
+                     [&link](net::Packet p) { link.enqueue(std::move(p)); }};
+  arq_ptr = &arq;
+
+  for (int i = 0; i < kFrames; ++i) {
+    sched.schedule_at(kTimeZero + kFrameGap * i, [&, i] {
+      net::Packet p;
+      p.app_seq = static_cast<std::uint64_t>(i);
+      p.size = Bytes{1400};
+      first_sent[p.app_seq] = sched.now();
+      arq.send_frame(std::move(p));
+    });
+  }
+  sched.run();
+  return {latency_ms.empty() ? 0 : latency_ms.mean(),
+          latency_ms.empty() ? 0 : latency_ms.percentile(95),
+          static_cast<double>(delivered) / kFrames};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("## Ablation: Theorem 1 — synchronizing charging records "
+              "delays traffic\n\n");
+  Table table{{"loss", "TLC mean/p95 (ms)", "sync mean/p95 (ms)",
+               "sync delivered"}};
+  for (double loss : {0.0, 0.05, 0.15, 0.30, 0.50}) {
+    const LatencyResult tlc = run_tlc_style(loss);
+    const LatencyResult sync = run_sync_style(loss);
+    table.add_row({exp::fmt(loss * 100, 0) + "%",
+                   fmt(tlc.mean_ms, 1) + " / " + fmt(tlc.p95_ms, 1),
+                   fmt(sync.mean_ms, 1) + " / " + fmt(sync.p95_ms, 1),
+                   exp::fmt(sync.delivered_fraction * 100, 1) + "%"});
+  }
+  table.print();
+  std::printf("\nTLC's latency is flat in loss (undelivered frames are a "
+              "charging question,\nnot a data-path question); the "
+              "record-synchronizing strawman pays one RTO per\nloss event "
+              "and its tail latency grows without bound as loss rises — "
+              "the\nimpossibility Theorem 1 formalizes.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// An FCC-style public verifier (§5.3.4): accepts Proofs-of-Charging from
+// either party and audits them without ever seeing the traffic.
+//
+// Generates a batch of genuine PoCs plus a set of forged/tampered ones,
+// runs Algorithm 2 over all of them, and prints the audit log.
+#include <cstdio>
+
+#include "common/format.hpp"
+#include "tlc/protocol.hpp"
+#include "tlc/verifier.hpp"
+
+using namespace tlc;
+using namespace tlc::core;
+
+namespace {
+
+PocMsg negotiate_poc(const charging::DataPlan& plan, std::uint64_t cycle,
+                     const crypto::KeyPair& edge_keys,
+                     const crypto::KeyPair& operator_keys,
+                     std::uint64_t seed) {
+  const LocalView view{Bytes{778'500'000 + seed * 1'000'000},
+                       Bytes{720'000'000 + seed * 1'000'000}};
+  const auto es = make_optimal_edge();
+  const auto os = make_optimal_operator();
+  ProtocolParty::Config cfg_e;
+  cfg_e.role = PartyRole::kEdgeVendor;
+  cfg_e.plan = plan;
+  cfg_e.cycle = plan.cycle_at(
+      kTimeZero + plan.cycle_length * static_cast<std::int64_t>(cycle));
+  cfg_e.view = view;
+  ProtocolParty::Config cfg_o = cfg_e;
+  cfg_o.role = PartyRole::kCellularOperator;
+  ProtocolParty edge{cfg_e, *es, edge_keys, operator_keys.public_key(),
+                     Rng{seed}};
+  ProtocolParty op{cfg_o, *os, operator_keys, edge_keys.public_key(),
+                   Rng{seed + 5000}};
+  run_exchange(op, edge);
+  return *op.poc();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Public verifier (FCC / court / MVNO) ===\n\n");
+
+  charging::DataPlan plan;
+  plan.loss_weight = 0.5;
+  plan.cycle_length = std::chrono::hours{1};
+  const auto edge_keys =
+      crypto::KeyPair::generate(crypto::KeyStrength::kRsa1024);
+  const auto operator_keys =
+      crypto::KeyPair::generate(crypto::KeyStrength::kRsa1024);
+  const auto mallory_keys =
+      crypto::KeyPair::generate(crypto::KeyStrength::kRsa1024);
+
+  PublicVerifier verifier{edge_keys.public_key(),
+                          operator_keys.public_key(), plan};
+
+  const auto audit = [&verifier](const char* label, const ByteVec& poc) {
+    VerifiedCharge out;
+    const VerifyResult r = verifier.verify(poc, &out);
+    if (r == VerifyResult::kOk) {
+      std::printf("  %-38s -> OK: charge %s, cycle %llu, round %d\n", label,
+                  format_bytes(out.charged).c_str(),
+                  static_cast<unsigned long long>(out.cycle_index),
+                  out.round);
+    } else {
+      std::printf("  %-38s -> REJECTED (%s)\n", label, to_string(r));
+    }
+  };
+
+  // Genuine receipts from three consecutive billing cycles.
+  std::printf("Genuine submissions:\n");
+  const PocMsg poc1 = negotiate_poc(plan, 1, edge_keys, operator_keys, 1);
+  const PocMsg poc2 = negotiate_poc(plan, 2, edge_keys, operator_keys, 2);
+  const PocMsg poc3 = negotiate_poc(plan, 3, edge_keys, operator_keys, 3);
+  audit("cycle 1 receipt", poc1.encode());
+  audit("cycle 2 receipt", poc2.encode());
+  audit("cycle 3 receipt", poc3.encode());
+
+  std::printf("\nAttacks:\n");
+  // 1. The operator resubmits an old receipt to double-bill.
+  audit("replayed cycle-1 receipt", poc1.encode());
+
+  // 2. The operator rewrites the charge and re-signs with its own key.
+  PocMsg inflated = poc2;
+  inflated.charged = Bytes{9'000'000'000};
+  inflated.sign(operator_keys);
+  audit("charge rewritten to 9 GB (re-signed)", inflated.encode());
+
+  // 3. A third party forges a receipt with its own key pair.
+  PocMsg forged = poc3;
+  forged.sign(mallory_keys);
+  audit("receipt forged by outsider", forged.encode());
+
+  // 4. Bit-flip in transit.
+  ByteVec corrupted = poc3.encode();
+  corrupted[corrupted.size() / 2] ^= 0x40;
+  audit("corrupted in transit", corrupted);
+
+  // 5. Receipt negotiated under a different data plan (wrong c).
+  charging::DataPlan other_plan = plan;
+  other_plan.loss_weight = 1.0;
+  PublicVerifier strict{edge_keys.public_key(), operator_keys.public_key(),
+                        other_plan};
+  VerifiedCharge unused;
+  std::printf("  %-38s -> %s\n", "receipt under mismatched plan",
+              to_string(strict.verify(poc1.encode(), &unused)));
+
+  std::printf("\nAudit summary: %llu accepted, %llu rejected\n",
+              static_cast<unsigned long long>(verifier.accepted()),
+              static_cast<unsigned long long>(verifier.rejected()));
+  return 0;
+}

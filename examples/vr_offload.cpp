@@ -1,0 +1,76 @@
+// Edge-powered VR offload (§2.2, the Envrmnt/Verizon use case): graphical
+// frames stream downlink at ~9 Mbps. The heavy volume makes VR the most
+// gap-prone scenario in the paper (Table 2: 384 MB/hr legacy gap), and the
+// one that benefits most from TLC (87.5% reduction).
+//
+// Sweeps congestion and intermittent-coverage levels and reports how the
+// charging gap responds under each scheme.
+#include <cstdio>
+
+#include "common/format.hpp"
+#include "exp/metrics.hpp"
+#include "exp/scenario.hpp"
+
+using namespace tlc;
+using namespace tlc::exp;
+
+namespace {
+
+struct Row {
+  const char* label;
+  double background_mbps;
+  double dip_rate;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== VR offload (GVSP downlink): gap vs network conditions "
+              "===\n\n");
+
+  constexpr Row kRows[] = {
+      {"idle cell, good coverage", 0.0, 0.0},
+      {"busy cell (120 Mbps bg)", 120.0, 0.0},
+      {"saturated cell (160 Mbps bg)", 160.0, 0.0},
+      {"good cell, patchy coverage", 0.0, 0.05},
+      {"saturated AND patchy", 160.0, 0.05},
+  };
+
+  Table table{{"conditions", "loss", "η", "legacy gap/hr", "TLC-random",
+               "TLC-optimal"}};
+  for (const Row& row : kRows) {
+    ScenarioConfig cfg;
+    cfg.app = AppKind::kVridge;
+    cfg.background_mbps = row.background_mbps;
+    cfg.dip_rate_per_s = row.dip_rate;
+    cfg.cycles = 3;
+    cfg.cycle_length = std::chrono::seconds{300};
+    cfg.seed = 7;
+    const ScenarioResult result = run_scenario(cfg);
+
+    double loss = 0;
+    double eta = 0;
+    double legacy = 0;
+    double random = 0;
+    double optimal = 0;
+    for (const auto& c : result.cycles) {
+      loss += c.truth.loss_fraction();
+      eta += c.disconnect_ratio;
+      legacy += result.to_mb_per_hr(c.legacy_gap().absolute_bytes);
+      random += result.to_mb_per_hr(c.random_gap().absolute_bytes);
+      optimal += result.to_mb_per_hr(c.optimal_gap().absolute_bytes);
+    }
+    const double n = static_cast<double>(result.cycles.size());
+    table.add_row({row.label, format_percent(loss / n),
+                   format_percent(eta / n),
+                   fmt(legacy / n, 1) + " MB", fmt(random / n, 1) + " MB",
+                   fmt(optimal / n, 1) + " MB"});
+  }
+  table.print();
+
+  std::printf("\nTLC-optimal settles every cycle in one round and keeps the "
+              "gap at the\nrecord-error floor regardless of how hostile the "
+              "network gets; legacy\nbilling inherits the full "
+              "(charged-but-lost) volume.\n");
+  return 0;
+}

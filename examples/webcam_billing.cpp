@@ -1,0 +1,120 @@
+// The paper's motivating scenario (§2.2): a roadside webcam streaming
+// 24×7 over LTE for real-time targeted advertising. The advertiser wants
+// to be sure the operator "charges faithfully (no over-bill)".
+//
+// Runs the full simulated testbed — RTSP webcam uplink through small cell,
+// gateway, and core — for several charging cycles under moderate
+// congestion, then settles each cycle with legacy 4G/5G billing and with
+// TLC, printing the charging gap each scheme leaves.
+#include <cstdio>
+
+#include "common/format.hpp"
+#include "epc/ofcs.hpp"
+#include "exp/metrics.hpp"
+#include "exp/scenario.hpp"
+#include "wire/legacy_cdr.hpp"
+
+using namespace tlc;
+using namespace tlc::exp;
+
+int main() {
+  std::printf("=== WebCam streaming: who pays for lost frames? ===\n\n");
+
+  ScenarioConfig cfg;
+  cfg.app = AppKind::kWebcamRtsp;
+  cfg.background_mbps = 120.0;  // a moderately busy cell
+  cfg.cycles = 4;
+  cfg.cycle_length = std::chrono::seconds{300};
+  cfg.seed = 2026;
+
+  std::printf("running %d charging cycles of %s (RTSP uplink, %g Mbps "
+              "background)...\n\n",
+              cfg.cycles, format_duration(cfg.cycle_length).c_str(),
+              cfg.background_mbps);
+  const ScenarioResult result = run_scenario(cfg);
+  std::printf("measured stream rate: %.2f Mbps\n\n",
+              result.measured_app_mbps);
+
+  Table table{{"cycle", "sent", "delivered", "correct x̂", "legacy bill",
+               "TLC bill", "legacy gap", "TLC gap", "rounds"}};
+  for (const auto& c : result.cycles) {
+    table.add_row({std::to_string(c.cycle),
+                   format_bytes(c.truth.sent),
+                   format_bytes(c.truth.received),
+                   format_bytes(c.correct),
+                   format_bytes(c.legacy),
+                   format_bytes(c.optimal.charged),
+                   format_percent(c.legacy_gap().ratio),
+                   format_percent(c.optimal_gap().ratio),
+                   std::to_string(c.optimal.rounds)});
+  }
+  table.print();
+
+  // What the operator's OFCS would emit for the first cycle (Trace 1):
+  std::printf("\nThe operator's legacy CDR for cycle 1 "
+              "(what legacy billing is based on):\n\n");
+  // Rebuild the record through a fresh scenario's gateway is overkill
+  // here; render the equivalent record directly from the measured cycle.
+  wire::LegacyCdr cdr;
+  cdr.served_imsi = {0x00, 0x01, 0x11, 0x32, 0x54, 0x76, 0x48, 0xf5};
+  cdr.gateway_address = (192u << 24) | (168u << 16) | (2u << 8) | 11u;
+  cdr.sequence_number = 1001;
+  cdr.time_of_first_usage = 1546845226;
+  cdr.time_of_last_usage =
+      cdr.time_of_first_usage +
+      static_cast<std::uint32_t>(
+          std::chrono::duration_cast<std::chrono::seconds>(cfg.cycle_length)
+              .count());
+  cdr.uplink_volume = result.cycles.front().legacy;
+  std::printf("%s\n", wire::legacy_cdr_to_xml(cdr).c_str());
+
+  // What the OFCS turns those cycles into: a billing statement. (The plan
+  // prices data at $0.01/MB and throttles after the quota; the 24×7 ad
+  // camera's month-scale usage is what makes billing accuracy matter.)
+  charging::DataPlan plan;
+  plan.loss_weight = cfg.loss_weight;
+  plan.cycle_length = cfg.cycle_length;
+  epc::Ofcs ofcs{plan};
+  for (const auto& c : result.cycles) {
+    wire::LegacyCdr cycle_cdr;
+    cycle_cdr.uplink_volume = c.legacy;
+    ofcs.ingest_legacy_cdr(c.cycle, cycle_cdr, charging::Direction::kUplink);
+  }
+  const epc::BillingStatement legacy_statement = ofcs.statement();
+  std::printf("Legacy statement: %zu lines, %s billed, $%.4f\n",
+              legacy_statement.lines.size(),
+              format_bytes(legacy_statement.total_volume).c_str(),
+              legacy_statement.total);
+  // With TLC the negotiated volumes replace the raw CDRs:
+  epc::Ofcs tlc_ofcs{plan};
+  for (const auto& c : result.cycles) {
+    wire::LegacyCdr cycle_cdr;
+    cycle_cdr.uplink_volume = c.optimal.charged;
+    tlc_ofcs.ingest_legacy_cdr(c.cycle, cycle_cdr,
+                               charging::Direction::kUplink);
+  }
+  std::printf("TLC statement   : %s billed, $%.4f "
+              "(every line backed by a dual-signed PoC)\n\n",
+              format_bytes(tlc_ofcs.statement().total_volume).c_str(),
+              tlc_ofcs.statement().total);
+
+  double legacy_sum = 0;
+  double tlc_sum = 0;
+  for (const auto& c : result.cycles) {
+    legacy_sum += c.legacy_gap().absolute_bytes;
+    tlc_sum += c.optimal_gap().absolute_bytes;
+  }
+  std::printf("Average charging gap: legacy %s/hr -> TLC %s/hr (%.1f%% "
+              "reduction)\n",
+              format_bytes(Bytes{static_cast<std::uint64_t>(
+                               result.to_mb_per_hr(legacy_sum /
+                                                   cfg.cycles) *
+                               1e6)})
+                  .c_str(),
+              format_bytes(Bytes{static_cast<std::uint64_t>(
+                               result.to_mb_per_hr(tlc_sum / cfg.cycles) *
+                               1e6)})
+                  .c_str(),
+              100.0 * (legacy_sum - tlc_sum) / legacy_sum);
+  return 0;
+}

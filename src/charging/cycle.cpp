@@ -1,0 +1,31 @@
+#include "charging/cycle.hpp"
+
+namespace tlc::charging {
+
+void CycleAccountant::record(TimePoint now, Direction dir, Bytes volume) {
+  const std::uint64_t index = cycle_index_at(now);
+  UsageRecord& rec = per_cycle_[index];
+  if (dir == Direction::kUplink) {
+    rec.uplink += volume;
+  } else {
+    rec.downlink += volume;
+  }
+}
+
+UsageRecord CycleAccountant::usage(std::uint64_t cycle_index) const {
+  const auto it = per_cycle_.find(cycle_index);
+  return it == per_cycle_.end() ? UsageRecord{} : it->second;
+}
+
+UsageRecord CycleAccountant::lifetime_usage() const {
+  UsageRecord total;
+  for (const auto& [index, rec] : per_cycle_) total += rec;
+  return total;
+}
+
+std::uint64_t CycleAccountant::cycle_index_at(TimePoint now) const {
+  const TimePoint local = clock_.local_time(now);
+  return plan_.cycle_at(local).index;
+}
+
+}  // namespace tlc::charging

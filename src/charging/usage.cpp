@@ -1,0 +1,32 @@
+#include "charging/usage.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tlc::charging {
+
+Bytes charged_volume(Bytes claim_e, Bytes claim_o, double loss_weight) {
+  if (loss_weight < 0.0 || loss_weight > 1.0) {
+    throw std::invalid_argument{"charged_volume: loss_weight outside [0,1]"};
+  }
+  const Bytes lo = std::min(claim_e, claim_o);
+  const Bytes hi = std::max(claim_e, claim_o);
+  const double charged =
+      lo.as_double() + loss_weight * (hi.as_double() - lo.as_double());
+  return Bytes{static_cast<std::uint64_t>(std::llround(charged))};
+}
+
+Bytes correct_charge(const GroundTruth& truth, double loss_weight) {
+  return charged_volume(truth.sent, truth.received, loss_weight);
+}
+
+GapMetrics gap_metrics(Bytes charged, Bytes correct) {
+  GapMetrics m;
+  const double x = charged.as_double();
+  const double xhat = correct.as_double();
+  m.absolute_bytes = std::abs(x - xhat);
+  m.ratio = xhat > 0.0 ? m.absolute_bytes / xhat : 0.0;
+  return m;
+}
+
+}  // namespace tlc::charging

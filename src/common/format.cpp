@@ -1,0 +1,46 @@
+#include "common/format.hpp"
+
+#include <cstdio>
+
+namespace tlc {
+namespace {
+
+std::string printf_string(const char* fmt, double value, const char* unit) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, value, unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(Bytes b) {
+  const double v = b.as_double();
+  if (v >= 1e9) return printf_string("%.2f %s", v / 1e9, "GB");
+  if (v >= 1e6) return printf_string("%.2f %s", v / 1e6, "MB");
+  if (v >= 1e3) return printf_string("%.2f %s", v / 1e3, "KB");
+  return printf_string("%.0f %s", v, "B");
+}
+
+std::string format_rate(BitRate r) {
+  const double v = static_cast<double>(r.bps());
+  if (v >= 1e9) return printf_string("%.2f %s", v / 1e9, "Gbps");
+  if (v >= 1e6) return printf_string("%.2f %s", v / 1e6, "Mbps");
+  if (v >= 1e3) return printf_string("%.2f %s", v / 1e3, "Kbps");
+  return printf_string("%.0f %s", v, "bps");
+}
+
+std::string format_duration(Duration d) {
+  const double s = to_seconds(d);
+  if (s >= 1.0) return printf_string("%.2f %s", s, "s");
+  if (s >= 1e-3) return printf_string("%.1f %s", s * 1e3, "ms");
+  if (s >= 1e-6) return printf_string("%.1f %s", s * 1e6, "us");
+  return printf_string("%.0f %s", s * 1e9, "ns");
+}
+
+std::string format_percent(double fraction, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace tlc

@@ -1,0 +1,22 @@
+// Human-readable formatting for report/bench output.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace tlc {
+
+/// "1.23 MB", "987 B", "4.05 GB" — decimal (SI) units, as in the paper.
+[[nodiscard]] std::string format_bytes(Bytes b);
+
+/// "9.00 Mbps", "128 Kbps".
+[[nodiscard]] std::string format_rate(BitRate r);
+
+/// "65.8 ms", "1.93 s".
+[[nodiscard]] std::string format_duration(Duration d);
+
+/// Fixed-precision percentage: "8.3%".
+[[nodiscard]] std::string format_percent(double fraction, int decimals = 1);
+
+}  // namespace tlc

@@ -1,0 +1,19 @@
+// Hex encoding for key fingerprints, nonces, and debugging output.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tlc {
+
+using ByteVec = std::vector<std::uint8_t>;
+
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Parses a hex string (even length, [0-9a-fA-F]); throws
+/// std::invalid_argument on malformed input.
+[[nodiscard]] ByteVec from_hex(std::string_view hex);
+
+}  // namespace tlc

@@ -1,0 +1,61 @@
+// Streaming statistics and empirical CDFs for the evaluation harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tlc {
+
+/// Welford's online mean/variance plus min/max.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Collects samples and answers percentile / CDF queries.
+class SampleSet {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double mean() const;
+  /// Percentile by linear interpolation; p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Fraction of samples ≤ x (empirical CDF).
+  [[nodiscard]] double cdf_at(double x) const;
+
+  /// Evenly spaced (value, cumulative-fraction) points for plotting;
+  /// `points` must be ≥ 2.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf_points(
+      std::size_t points) const;
+
+  [[nodiscard]] const std::vector<double>& raw() const { return samples_; }
+
+ private:
+  void sort_if_needed() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace tlc

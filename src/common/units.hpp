@@ -1,0 +1,126 @@
+// Strong unit types used across the TLC library.
+//
+// Charging correctness hinges on never confusing bytes with bits, or
+// rates with volumes; these thin wrappers make such mix-ups type errors.
+#pragma once
+
+#include <chrono>
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+namespace tlc {
+
+/// Simulation time: nanosecond resolution, 64-bit (≈292 years of range).
+using Duration = std::chrono::nanoseconds;
+using TimePoint = std::chrono::time_point<std::chrono::steady_clock, Duration>;
+
+constexpr TimePoint kTimeZero{Duration{0}};
+
+constexpr double to_seconds(Duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+constexpr Duration from_seconds(double s) {
+  return std::chrono::duration_cast<Duration>(std::chrono::duration<double>(s));
+}
+
+/// A data volume in bytes. Arithmetic is saturating-free (plain u64);
+/// callers own overflow concerns (volumes here are ≤ TB scale).
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::uint64_t count) : count_(count) {}
+
+  [[nodiscard]] constexpr std::uint64_t count() const { return count_; }
+  [[nodiscard]] constexpr double as_double() const {
+    return static_cast<double>(count_);
+  }
+  [[nodiscard]] constexpr double megabytes() const {
+    return as_double() / 1e6;
+  }
+
+  constexpr Bytes& operator+=(Bytes other) {
+    count_ += other.count_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes other) {
+    count_ -= other.count_;
+    return *this;
+  }
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes{a.count_ + b.count_};
+  }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) {
+    return Bytes{a.count_ - b.count_};
+  }
+  friend constexpr auto operator<=>(Bytes, Bytes) = default;
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+constexpr Bytes operator""_B(unsigned long long v) { return Bytes{v}; }
+constexpr Bytes operator""_KB(unsigned long long v) { return Bytes{v * 1000}; }
+constexpr Bytes operator""_MB(unsigned long long v) {
+  return Bytes{v * 1000 * 1000};
+}
+constexpr Bytes operator""_GB(unsigned long long v) {
+  return Bytes{v * 1000 * 1000 * 1000};
+}
+
+/// A data rate in bits per second.
+class BitRate {
+ public:
+  constexpr BitRate() = default;
+  constexpr explicit BitRate(std::uint64_t bits_per_second)
+      : bps_(bits_per_second) {}
+
+  static constexpr BitRate from_mbps(double mbps) {
+    return BitRate{static_cast<std::uint64_t>(mbps * 1e6)};
+  }
+  static constexpr BitRate from_kbps(double kbps) {
+    return BitRate{static_cast<std::uint64_t>(kbps * 1e3)};
+  }
+
+  [[nodiscard]] constexpr std::uint64_t bps() const { return bps_; }
+  [[nodiscard]] constexpr double mbps() const {
+    return static_cast<double>(bps_) / 1e6;
+  }
+  [[nodiscard]] constexpr bool is_zero() const { return bps_ == 0; }
+
+  /// Time needed to serialize `payload` at this rate.
+  [[nodiscard]] constexpr Duration transmission_time(Bytes payload) const {
+    if (bps_ == 0) return Duration::max();
+    const double seconds =
+        payload.as_double() * 8.0 / static_cast<double>(bps_);
+    return from_seconds(seconds);
+  }
+
+  /// Volume delivered over `d` at this rate.
+  [[nodiscard]] constexpr Bytes volume_over(Duration d) const {
+    const double bytes = static_cast<double>(bps_) / 8.0 * to_seconds(d);
+    return Bytes{static_cast<std::uint64_t>(bytes)};
+  }
+
+  friend constexpr auto operator<=>(BitRate, BitRate) = default;
+
+ private:
+  std::uint64_t bps_ = 0;
+};
+
+/// Received signal strength, in dBm. The paper's radio experiments span
+/// −95 dBm (good) to −125 dBm (out of coverage).
+class Dbm {
+ public:
+  constexpr Dbm() = default;
+  constexpr explicit Dbm(double value) : value_(value) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+  friend constexpr auto operator<=>(Dbm, Dbm) = default;
+
+ private:
+  double value_ = -140.0;
+};
+
+}  // namespace tlc

@@ -1,0 +1,85 @@
+#include "crypto/keys.hpp"
+
+#include <openssl/evp.h>
+#include <openssl/rsa.h>
+#include <openssl/x509.h>
+
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace tlc::crypto {
+namespace {
+
+void pkey_deleter(void* p) { EVP_PKEY_free(static_cast<EVP_PKEY*>(p)); }
+
+std::shared_ptr<void> wrap(EVP_PKEY* pkey) {
+  return std::shared_ptr<void>(pkey, &pkey_deleter);
+}
+
+}  // namespace
+
+ByteVec PublicKey::to_der() const {
+  if (!valid()) throw std::logic_error{"PublicKey::to_der on empty key"};
+  auto* pkey = static_cast<EVP_PKEY*>(pkey_.get());
+  const int len = i2d_PUBKEY(pkey, nullptr);
+  if (len <= 0) throw std::runtime_error{"i2d_PUBKEY sizing failed"};
+  ByteVec out(static_cast<std::size_t>(len));
+  std::uint8_t* ptr = out.data();
+  if (i2d_PUBKEY(pkey, &ptr) != len) {
+    throw std::runtime_error{"i2d_PUBKEY failed"};
+  }
+  return out;
+}
+
+PublicKey PublicKey::from_der(std::span<const std::uint8_t> der) {
+  const std::uint8_t* ptr = der.data();
+  EVP_PKEY* pkey = d2i_PUBKEY(nullptr, &ptr, static_cast<long>(der.size()));
+  if (pkey == nullptr) {
+    throw std::invalid_argument{"PublicKey::from_der: malformed DER"};
+  }
+  return PublicKey{wrap(pkey)};
+}
+
+std::string PublicKey::fingerprint() const {
+  return sha256_hex(to_der()).substr(0, 16);
+}
+
+bool operator==(const PublicKey& a, const PublicKey& b) {
+  if (a.pkey_ == b.pkey_) return true;
+  if (!a.valid() || !b.valid()) return false;
+  return EVP_PKEY_eq(static_cast<EVP_PKEY*>(a.pkey_.get()),
+                     static_cast<EVP_PKEY*>(b.pkey_.get())) == 1;
+}
+
+KeyPair KeyPair::generate(KeyStrength strength) {
+  EVP_PKEY* pkey =
+      EVP_RSA_gen(static_cast<unsigned int>(static_cast<int>(strength)));
+  if (pkey == nullptr) throw std::runtime_error{"EVP_RSA_gen failed"};
+  KeyPair kp;
+  kp.pkey_ = wrap(pkey);
+  kp.strength_ = strength;
+  return kp;
+}
+
+PublicKey KeyPair::public_key() const {
+  if (!valid()) throw std::logic_error{"KeyPair::public_key on empty pair"};
+  // Re-encode through DER to get a verify-only handle with no private part.
+  auto* pkey = static_cast<EVP_PKEY*>(pkey_.get());
+  const int len = i2d_PUBKEY(pkey, nullptr);
+  if (len <= 0) throw std::runtime_error{"i2d_PUBKEY sizing failed"};
+  ByteVec der(static_cast<std::size_t>(len));
+  std::uint8_t* ptr = der.data();
+  if (i2d_PUBKEY(pkey, &ptr) != len) {
+    throw std::runtime_error{"i2d_PUBKEY failed"};
+  }
+  return PublicKey::from_der(der);
+}
+
+std::size_t KeyPair::signature_size() const {
+  if (!valid()) return 0;
+  return static_cast<std::size_t>(
+      EVP_PKEY_get_size(static_cast<EVP_PKEY*>(pkey_.get())));
+}
+
+}  // namespace tlc::crypto

@@ -1,0 +1,67 @@
+// RSA key management for Proof-of-Charging signatures.
+//
+// The paper's prototype uses java.security RSA-1024 (§6); 1024-bit keys are
+// what give the paper its 199/398/796-byte message sizes, so RSA-1024 is the
+// size-faithful default here. RSA-2048 is available for deployments that
+// want a modern security margin (the bench quantifies the cost).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/hex.hpp"
+
+namespace tlc::crypto {
+
+enum class KeyStrength : int {
+  kRsa1024 = 1024,  // paper-faithful sizes
+  kRsa2048 = 2048,  // modern margin
+};
+
+/// Public key: verify-only handle, cheap to copy (shared EVP_PKEY).
+class PublicKey {
+ public:
+  PublicKey() = default;
+
+  /// DER (SubjectPublicKeyInfo) round-trip for transport/storage.
+  [[nodiscard]] ByteVec to_der() const;
+  [[nodiscard]] static PublicKey from_der(std::span<const std::uint8_t> der);
+
+  /// SHA-256 of the DER encoding — stable identifier for a party.
+  [[nodiscard]] std::string fingerprint() const;
+
+  [[nodiscard]] bool valid() const { return pkey_ != nullptr; }
+  [[nodiscard]] void* handle() const { return pkey_.get(); }
+
+  friend bool operator==(const PublicKey& a, const PublicKey& b);
+
+ private:
+  friend class KeyPair;
+  explicit PublicKey(std::shared_ptr<void> pkey) : pkey_(std::move(pkey)) {}
+  std::shared_ptr<void> pkey_;  // EVP_PKEY
+};
+
+/// Private+public key pair owned by one party (edge vendor or operator).
+class KeyPair {
+ public:
+  KeyPair() = default;
+
+  /// Generates a fresh RSA key pair. Deterministic tests should cache pairs
+  /// rather than seed OpenSSL's RNG.
+  [[nodiscard]] static KeyPair generate(KeyStrength strength);
+
+  [[nodiscard]] PublicKey public_key() const;
+  [[nodiscard]] bool valid() const { return pkey_ != nullptr; }
+  [[nodiscard]] void* handle() const { return pkey_.get(); }
+  [[nodiscard]] KeyStrength strength() const { return strength_; }
+
+  /// Signature size in bytes (= modulus size: 128 for RSA-1024).
+  [[nodiscard]] std::size_t signature_size() const;
+
+ private:
+  std::shared_ptr<void> pkey_;  // EVP_PKEY with private part
+  KeyStrength strength_ = KeyStrength::kRsa1024;
+};
+
+}  // namespace tlc::crypto

@@ -1,0 +1,53 @@
+#include "crypto/sha256.hpp"
+
+#include <openssl/evp.h>
+
+#include <stdexcept>
+
+#include "common/hex.hpp"
+
+namespace tlc::crypto {
+
+Digest sha256(std::span<const std::uint8_t> data) {
+  Sha256 hasher;
+  hasher.update(data);
+  return hasher.finish();
+}
+
+std::string sha256_hex(std::span<const std::uint8_t> data) {
+  const Digest d = sha256(data);
+  return to_hex(d);
+}
+
+Sha256::Sha256() : ctx_(EVP_MD_CTX_new()) {
+  if (ctx_ == nullptr) throw std::runtime_error{"EVP_MD_CTX_new failed"};
+  if (EVP_DigestInit_ex(static_cast<EVP_MD_CTX*>(ctx_), EVP_sha256(),
+                        nullptr) != 1) {
+    EVP_MD_CTX_free(static_cast<EVP_MD_CTX*>(ctx_));
+    throw std::runtime_error{"EVP_DigestInit_ex failed"};
+  }
+}
+
+Sha256::~Sha256() { EVP_MD_CTX_free(static_cast<EVP_MD_CTX*>(ctx_)); }
+
+void Sha256::update(std::span<const std::uint8_t> data) {
+  if (EVP_DigestUpdate(static_cast<EVP_MD_CTX*>(ctx_), data.data(),
+                       data.size()) != 1) {
+    throw std::runtime_error{"EVP_DigestUpdate failed"};
+  }
+}
+
+Digest Sha256::finish() {
+  Digest out{};
+  unsigned int len = 0;
+  auto* ctx = static_cast<EVP_MD_CTX*>(ctx_);
+  if (EVP_DigestFinal_ex(ctx, out.data(), &len) != 1 || len != out.size()) {
+    throw std::runtime_error{"EVP_DigestFinal_ex failed"};
+  }
+  if (EVP_DigestInit_ex(ctx, EVP_sha256(), nullptr) != 1) {
+    throw std::runtime_error{"EVP_DigestInit_ex (reset) failed"};
+  }
+  return out;
+}
+
+}  // namespace tlc::crypto

@@ -1,0 +1,53 @@
+#include "crypto/signer.hpp"
+
+#include <openssl/evp.h>
+
+#include <memory>
+#include <stdexcept>
+
+namespace tlc::crypto {
+namespace {
+
+struct CtxDeleter {
+  void operator()(EVP_MD_CTX* ctx) const { EVP_MD_CTX_free(ctx); }
+};
+using CtxPtr = std::unique_ptr<EVP_MD_CTX, CtxDeleter>;
+
+}  // namespace
+
+ByteVec sign(const KeyPair& key, std::span<const std::uint8_t> message) {
+  if (!key.valid()) throw std::logic_error{"sign: empty key pair"};
+  CtxPtr ctx{EVP_MD_CTX_new()};
+  if (!ctx) throw std::runtime_error{"EVP_MD_CTX_new failed"};
+  if (EVP_DigestSignInit(ctx.get(), nullptr, EVP_sha256(), nullptr,
+                         static_cast<EVP_PKEY*>(key.handle())) != 1) {
+    throw std::runtime_error{"EVP_DigestSignInit failed"};
+  }
+  std::size_t sig_len = 0;
+  if (EVP_DigestSign(ctx.get(), nullptr, &sig_len, message.data(),
+                     message.size()) != 1) {
+    throw std::runtime_error{"EVP_DigestSign sizing failed"};
+  }
+  ByteVec sig(sig_len);
+  if (EVP_DigestSign(ctx.get(), sig.data(), &sig_len, message.data(),
+                     message.size()) != 1) {
+    throw std::runtime_error{"EVP_DigestSign failed"};
+  }
+  sig.resize(sig_len);
+  return sig;
+}
+
+bool verify(const PublicKey& key, std::span<const std::uint8_t> message,
+            std::span<const std::uint8_t> signature) {
+  if (!key.valid()) throw std::logic_error{"verify: empty public key"};
+  CtxPtr ctx{EVP_MD_CTX_new()};
+  if (!ctx) throw std::runtime_error{"EVP_MD_CTX_new failed"};
+  if (EVP_DigestVerifyInit(ctx.get(), nullptr, EVP_sha256(), nullptr,
+                           static_cast<EVP_PKEY*>(key.handle())) != 1) {
+    throw std::runtime_error{"EVP_DigestVerifyInit failed"};
+  }
+  return EVP_DigestVerify(ctx.get(), signature.data(), signature.size(),
+                          message.data(), message.size()) == 1;
+}
+
+}  // namespace tlc::crypto

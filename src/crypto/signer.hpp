@@ -1,0 +1,22 @@
+// Digital signatures over charging messages (RSA PKCS#1 v1.5 + SHA-256).
+#pragma once
+
+#include <span>
+
+#include "common/hex.hpp"
+#include "crypto/keys.hpp"
+
+namespace tlc::crypto {
+
+/// Signs `message` with the pair's private key. Throws on backend failure.
+[[nodiscard]] ByteVec sign(const KeyPair& key,
+                           std::span<const std::uint8_t> message);
+
+/// Verifies `signature` over `message`. Returns false for any mismatch
+/// (wrong key, tampered message, malformed signature) — never throws for
+/// verification failures, only for backend setup errors.
+[[nodiscard]] bool verify(const PublicKey& key,
+                          std::span<const std::uint8_t> message,
+                          std::span<const std::uint8_t> signature);
+
+}  // namespace tlc::crypto

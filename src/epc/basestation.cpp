@@ -1,0 +1,160 @@
+#include "epc/basestation.hpp"
+
+namespace tlc::epc {
+
+BaseStation::BaseStation(sim::Scheduler& sched, BaseStationConfig config,
+                         Rng rng, EdgeDevice& device, charging::DataPlan plan,
+                         sim::NodeClock operator_clock)
+    : sched_(sched),
+      config_(config),
+      device_(device),
+      plan_(plan),
+      operator_clock_(operator_clock),
+      radio_(config.radio, rng),
+      dl_link_(
+          sched, config.downlink, &radio_,
+          [this](const net::Packet& p, TimePoint at) {
+            note_activity();
+            device_.on_downlink_delivered(p, at);
+            if (downlink_sink_) downlink_sink_(p, at);
+          },
+          [this](const net::Packet& p, net::DropCause cause, TimePoint at) {
+            if (dl_drop_observer_) dl_drop_observer_(p, cause, at);
+          }),
+      ul_link_(
+          sched, config.uplink, &radio_,
+          [this](const net::Packet& p, TimePoint at) {
+            note_activity();
+            if (uplink_sink_) uplink_sink_(p, at);
+          },
+          [this](const net::Packet& p, net::DropCause cause, TimePoint at) {
+            if (cause == net::DropCause::kRadioLoss ||
+                cause == net::DropCause::kCongestionLoss) {
+              // Granted transmission failed on the air: the scheduler sees
+              // this, so the operator can count it toward x̂_e.
+              const std::uint64_t cycle =
+                  plan_.cycle_at(operator_clock_.local_time(at)).index;
+              ul_radio_loss_by_cycle_[cycle] += p.size;
+            }
+            if (ul_drop_observer_) ul_drop_observer_(p, cause, at);
+          }) {}
+
+void BaseStation::start() {
+  if (started_) return;
+  started_ = true;
+  last_activity_ = sched_.now();
+  sched_.schedule_after(config_.poll_interval, [this] { poll_radio(); });
+}
+
+void BaseStation::send_downlink(net::Packet packet) {
+  note_activity();
+  dl_link_.enqueue(std::move(packet));
+}
+
+void BaseStation::send_uplink(net::Packet packet) {
+  note_activity();
+  device_.note_modem_transmitted(packet.size);
+  ul_link_.enqueue(std::move(packet));
+}
+
+void BaseStation::set_background_load(BitRate downlink, BitRate uplink) {
+  dl_link_.set_background_load(downlink);
+  ul_link_.set_background_load(uplink);
+}
+
+Bytes BaseStation::observed_uplink_radio_loss(std::uint64_t cycle) const {
+  const auto it = ul_radio_loss_by_cycle_.find(cycle);
+  return it == ul_radio_loss_by_cycle_.end() ? Bytes{0} : it->second;
+}
+
+bool BaseStation::trigger_counter_check() {
+  if (!attached_) return false;
+  perform_counter_check();
+  return true;
+}
+
+void BaseStation::perform_counter_check() {
+  ++counter_checks_;
+  CounterCheckReport report;
+  report.cumulative_dl_bytes = device_.modem_rx_bytes();
+  report.cumulative_ul_bytes = device_.modem_tx_bytes();
+  report.at = sched_.now();
+  if (counter_check_sink_) counter_check_sink_(report);
+}
+
+void BaseStation::poll_radio() {
+  const TimePoint now = sched_.now();
+  const bool connected = radio_.state_at(now).connected;
+
+  if (!connected) {
+    if (!in_outage_) {
+      in_outage_ = true;
+      disconnected_since_ = now;
+    }
+    if (attached_ && now - disconnected_since_ >= config_.rlf_detach_after) {
+      detach();
+    }
+  } else {
+    if (in_outage_) {
+      in_outage_ = false;
+      reconnected_since_ = now;
+    }
+    if (!attached_ && now - reconnected_since_ >= config_.reattach_settle) {
+      attach();
+    }
+    // RRC inactivity release: counter check, then release the connection.
+    if (attached_ && rrc_connected_ &&
+        now - last_activity_ >= config_.rrc_idle_timeout) {
+      perform_counter_check();
+      rrc_connected_ = false;
+    }
+    if (!rrc_connected_ &&
+        (!dl_link_.blocked() && (dl_link_.queue_depth() > 0 ||
+                                 now - last_activity_ < config_.poll_interval))) {
+      // Any fresh activity re-establishes the RRC connection (setup delay
+      // is negligible at this model's granularity).
+      rrc_connected_ = true;
+    }
+  }
+
+  sched_.schedule_after(config_.poll_interval, [this] { poll_radio(); });
+}
+
+void BaseStation::detach() {
+  ++detaches_;
+  attached_ = false;
+  rrc_connected_ = false;
+  dl_link_.flush(net::DropCause::kDetached);
+  dl_link_.set_blocked(true, net::DropCause::kDetached);
+  ul_link_.flush(net::DropCause::kDetached);
+  ul_link_.set_blocked(true, net::DropCause::kDetached);
+  if (session_cb_) session_cb_(false, sched_.now());
+}
+
+void BaseStation::attach() {
+  attached_ = true;
+  rrc_connected_ = true;
+  if (!suspended_) {
+    dl_link_.set_blocked(false);
+    ul_link_.set_blocked(false);
+  }
+  if (session_cb_) session_cb_(true, sched_.now());
+}
+
+void BaseStation::suspend(net::DropCause cause) {
+  suspended_ = true;
+  dl_link_.flush(cause);
+  dl_link_.set_blocked(true, cause);
+  ul_link_.flush(cause);
+  ul_link_.set_blocked(true, cause);
+}
+
+void BaseStation::resume() {
+  suspended_ = false;
+  if (attached_) {
+    dl_link_.set_blocked(false);
+    ul_link_.set_blocked(false);
+  }
+}
+
+}  // namespace tlc::epc

@@ -1,0 +1,148 @@
+// The base station (eNodeB / gNB) plus the RRC behaviours TLC relies on.
+//
+// Owns the device's radio model and both directions of the air interface:
+//   * downlink:  gateway → [DL CellLink + radio] → device
+//   * uplink:    device  → [UL CellLink + radio] → gateway
+//
+// RRC behaviours reproduced from the paper:
+//   * RRC COUNTER CHECK (§5.4): before releasing an idle radio connection —
+//     and whenever the operator explicitly triggers one — the base station
+//     queries the device modem's cumulative octet counters and reports the
+//     snapshot to the operator's monitor. Hardware counters cannot be
+//     tampered with by the edge, unlike user-space APIs.
+//   * Radio-link-failure detach (§3.2): after `rlf_detach_after`
+//     (default 5 s, matching the paper's LTE core) of continuous
+//     disconnection the device is detached: the downlink buffer is flushed
+//     and the gateway stops charging until re-attach.
+//   * Uplink loss observation: the scheduler knows which granted uplink
+//     transmissions failed on the air, so the operator can estimate the
+//     device-sent volume as gateway-received + observed radio losses
+//     (losses inside the device modem queue are *not* observable — one
+//     source of TLC's residual charging error).
+#pragma once
+
+#include <functional>
+
+#include "charging/cycle.hpp"
+#include "epc/device.hpp"
+#include "net/link.hpp"
+#include "sim/scheduler.hpp"
+
+namespace tlc::epc {
+
+struct BaseStationConfig {
+  net::RadioConfig radio;
+  net::CellLink::Config downlink;
+  net::CellLink::Config uplink;
+  Duration rlf_detach_after = std::chrono::seconds{5};
+  Duration reattach_settle = std::chrono::milliseconds{500};
+  Duration rrc_idle_timeout = std::chrono::seconds{10};
+  Duration poll_interval = std::chrono::milliseconds{100};
+};
+
+/// Cumulative modem counters delivered by an RRC COUNTER CHECK RESPONSE.
+struct CounterCheckReport {
+  std::uint64_t cumulative_dl_bytes = 0;
+  std::uint64_t cumulative_ul_bytes = 0;
+  TimePoint at = kTimeZero;
+};
+
+class BaseStation {
+ public:
+  using CounterCheckFn = std::function<void(const CounterCheckReport&)>;
+  using UplinkSinkFn = std::function<void(const net::Packet&, TimePoint)>;
+  using SessionFn = std::function<void(bool attached, TimePoint)>;
+  using DropFn = net::CellLink::DropFn;
+
+  BaseStation(sim::Scheduler& sched, BaseStationConfig config, Rng rng,
+              EdgeDevice& device, charging::DataPlan plan,
+              sim::NodeClock operator_clock);
+
+  /// Gateway-facing: admit a (already charged) downlink packet.
+  void send_downlink(net::Packet packet);
+
+  /// Device-facing: the app/modem submits an uplink packet.
+  void send_uplink(net::Packet packet);
+
+  /// Uplink packets that survive the air are handed here (→ gateway).
+  void set_uplink_sink(UplinkSinkFn fn) { uplink_sink_ = std::move(fn); }
+  /// Attach/detach notifications (→ gateway session state).
+  void set_session_callback(SessionFn fn) { session_cb_ = std::move(fn); }
+  /// Counter-check reports (→ operator's RRC downlink monitor).
+  void set_counter_check_sink(CounterCheckFn fn) {
+    counter_check_sink_ = std::move(fn);
+  }
+  /// Observers for every lost packet (ground-truth bookkeeping).
+  void set_downlink_drop_observer(DropFn fn) { dl_drop_observer_ = std::move(fn); }
+  void set_uplink_drop_observer(DropFn fn) { ul_drop_observer_ = std::move(fn); }
+  /// Downlink deliveries (→ device + ground truth).
+  void set_downlink_sink(UplinkSinkFn fn) { downlink_sink_ = std::move(fn); }
+
+  /// Operator-triggered RRC COUNTER CHECK (e.g. at charging-cycle end).
+  /// Returns false when the device is unreachable (detached).
+  bool trigger_counter_check();
+
+  /// Mobility support: while suspended (device served by another cell, or
+  /// mid-handover) traffic at this cell is dropped with `cause`; the
+  /// gateway session stays up, unlike a detach — which is exactly why
+  /// handover loss creates a charging gap.
+  void suspend(net::DropCause cause);
+  void resume();
+  [[nodiscard]] bool suspended() const { return suspended_; }
+
+  /// Starts the RRC supervision loop; call once after wiring callbacks.
+  void start();
+
+  [[nodiscard]] bool attached() const { return attached_; }
+  [[nodiscard]] net::RadioModel& radio() { return radio_; }
+  [[nodiscard]] const net::CellLink& downlink() const { return dl_link_; }
+  [[nodiscard]] const net::CellLink& uplink() const { return ul_link_; }
+  /// Background (competing) load on each direction of the cell.
+  void set_background_load(BitRate downlink, BitRate uplink);
+
+  /// Radio-loss bytes the eNodeB scheduler observed on granted uplink
+  /// transmissions, bucketed by the operator's charging cycle.
+  [[nodiscard]] Bytes observed_uplink_radio_loss(std::uint64_t cycle) const;
+
+  [[nodiscard]] std::uint64_t detach_count() const { return detaches_; }
+  [[nodiscard]] std::uint64_t counter_check_count() const {
+    return counter_checks_;
+  }
+
+ private:
+  void poll_radio();
+  void detach();
+  void attach();
+  void note_activity() { last_activity_ = sched_.now(); }
+  void perform_counter_check();
+
+  sim::Scheduler& sched_;
+  BaseStationConfig config_;
+  EdgeDevice& device_;
+  charging::DataPlan plan_;
+  sim::NodeClock operator_clock_;
+  net::RadioModel radio_;
+  net::CellLink dl_link_;
+  net::CellLink ul_link_;
+
+  UplinkSinkFn uplink_sink_;
+  UplinkSinkFn downlink_sink_;
+  SessionFn session_cb_;
+  CounterCheckFn counter_check_sink_;
+  DropFn dl_drop_observer_;
+  DropFn ul_drop_observer_;
+
+  bool attached_ = true;
+  bool rrc_connected_ = true;
+  bool suspended_ = false;
+  TimePoint disconnected_since_ = kTimeZero;
+  bool in_outage_ = false;
+  TimePoint reconnected_since_ = kTimeZero;
+  TimePoint last_activity_ = kTimeZero;
+  std::uint64_t detaches_ = 0;
+  std::uint64_t counter_checks_ = 0;
+  std::map<std::uint64_t, Bytes> ul_radio_loss_by_cycle_;
+  bool started_ = false;
+};
+
+}  // namespace tlc::epc

@@ -1,0 +1,30 @@
+#include "epc/device.hpp"
+
+#include <cmath>
+
+namespace tlc::epc {
+
+void EdgeDevice::note_app_sent(const net::Packet& packet, TimePoint now) {
+  app_usage_.record(now, charging::Direction::kUplink, packet.size);
+}
+
+void EdgeDevice::note_modem_transmitted(Bytes bytes) {
+  modem_tx_ += bytes.count();
+}
+
+void EdgeDevice::on_downlink_delivered(const net::Packet& packet,
+                                       TimePoint now) {
+  modem_rx_ += packet.size.count();
+  app_usage_.record(now, charging::Direction::kDownlink, packet.size);
+}
+
+charging::UsageRecord EdgeDevice::api_usage(std::uint64_t cycle) const {
+  const charging::UsageRecord real = app_usage_.usage(cycle);
+  const auto scale = [this](Bytes v) {
+    return Bytes{static_cast<std::uint64_t>(
+        std::llround(v.as_double() * api_tamper_))};
+  };
+  return charging::UsageRecord{scale(real.uplink), scale(real.downlink)};
+}
+
+}  // namespace tlc::epc

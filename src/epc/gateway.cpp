@@ -1,0 +1,62 @@
+#include "epc/gateway.hpp"
+
+#include <cmath>
+
+namespace tlc::epc {
+
+SpGateway::SpGateway(sim::Scheduler& sched, charging::DataPlan plan,
+                     sim::NodeClock operator_clock, Imsi imsi)
+    : sched_(sched), accountant_(plan, operator_clock), imsi_(imsi) {}
+
+void SpGateway::forward_downlink(net::Packet packet) {
+  const TimePoint now = sched_.now();
+  if (pcrf_ != nullptr) pcrf_->apply(packet);
+  if (!session_up_) {
+    uncharged_dl_ += packet.size;
+    if (uncharged_drop_) uncharged_drop_(packet, now);
+    return;
+  }
+  accountant_.record(now, charging::Direction::kDownlink, packet.size);
+  if (dl_forward_) dl_forward_(std::move(packet));
+}
+
+void SpGateway::on_uplink_from_enb(const net::Packet& packet, TimePoint at) {
+  accountant_.record(at, charging::Direction::kUplink, packet.size);
+  if (ul_forward_) ul_forward_(packet);
+}
+
+charging::UsageRecord SpGateway::usage(std::uint64_t cycle) const {
+  return accountant_.usage(cycle);
+}
+
+charging::UsageRecord SpGateway::claimed_usage(std::uint64_t cycle) const {
+  const charging::UsageRecord real = usage(cycle);
+  const auto scale = [this](Bytes v) {
+    return Bytes{static_cast<std::uint64_t>(
+        std::llround(v.as_double() * cdr_tamper_))};
+  };
+  return charging::UsageRecord{scale(real.uplink), scale(real.downlink)};
+}
+
+wire::LegacyCdr SpGateway::legacy_cdr(std::uint64_t cycle) const {
+  const charging::UsageRecord claimed = claimed_usage(cycle);
+  const charging::DataPlan& plan = accountant_.plan();
+
+  wire::LegacyCdr cdr;
+  cdr.served_imsi = imsi_.digits;
+  cdr.gateway_address = (192u << 24) | (168u << 16) | (2u << 8) | 11u;
+  cdr.charging_id = 0;
+  cdr.sequence_number = cdr_seq_ + static_cast<std::uint32_t>(cycle);
+  const auto cycle_seconds =
+      std::chrono::duration_cast<std::chrono::seconds>(plan.cycle_length);
+  cdr.time_of_first_usage =
+      static_cast<std::uint32_t>(cycle * static_cast<std::uint64_t>(
+                                             cycle_seconds.count()));
+  cdr.time_of_last_usage =
+      cdr.time_of_first_usage + static_cast<std::uint32_t>(cycle_seconds.count());
+  cdr.uplink_volume = claimed.uplink;
+  cdr.downlink_volume = claimed.downlink;
+  return cdr;
+}
+
+}  // namespace tlc::epc

@@ -1,0 +1,59 @@
+#include "epc/handover.hpp"
+
+#include <stdexcept>
+
+namespace tlc::epc {
+
+HandoverController::HandoverController(sim::Scheduler& sched, Config config,
+                                       std::vector<BaseStation*> cells)
+    : sched_(sched), config_(config), cells_(std::move(cells)) {
+  if (cells_.size() < 2) {
+    throw std::invalid_argument{"HandoverController: need >= 2 cells"};
+  }
+  for (std::size_t i = 1; i < cells_.size(); ++i) {
+    cells_[i]->suspend(net::DropCause::kHandover);
+  }
+  cells_[0]->resume();
+}
+
+void HandoverController::start() {
+  if (started_) return;
+  started_ = true;
+  // Self-rescheduling loop: each firing executes a handover and arms the
+  // next one.
+  struct Loop {
+    HandoverController* self;
+    void operator()() const {
+      self->execute_handover();
+      self->sched_.schedule_after(self->config_.period, Loop{self});
+    }
+  };
+  sched_.schedule_after(config_.period, Loop{this});
+}
+
+void HandoverController::execute_handover() {
+  ++handovers_;
+  const std::size_t target = (serving_index_ + 1) % cells_.size();
+
+  // Source cell releases the device: buffered data is discarded (no X2
+  // forwarding), and nothing flows until the target admits the device.
+  cells_[serving_index_]->suspend(net::DropCause::kHandover);
+  serving_index_ = target;
+
+  // The target cell completes admission after the interruption window.
+  sched_.schedule_after(config_.interruption, [this, target] {
+    if (serving_index_ == target) {
+      cells_[target]->resume();
+    }
+  });
+}
+
+void HandoverController::route_downlink(net::Packet packet) {
+  cells_[serving_index_]->send_downlink(std::move(packet));
+}
+
+void HandoverController::route_uplink(net::Packet packet) {
+  cells_[serving_index_]->send_uplink(std::move(packet));
+}
+
+}  // namespace tlc::epc

@@ -1,0 +1,60 @@
+// Link-layer mobility (§3.1 gap cause 2): handover between base stations.
+//
+// A moving device periodically switches serving cells. During the handover
+// interruption the source cell's buffered downlink data is discarded and
+// in-flight traffic is lost (X2-style handover without data forwarding),
+// while the gateway keeps charging — the mobility-induced charging gap the
+// measurement studies [10] report.
+//
+// The controller owns the serving-cell decision; the gateway and the
+// device route their traffic through it instead of a fixed BaseStation.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "epc/basestation.hpp"
+
+namespace tlc::epc {
+
+class HandoverController {
+ public:
+  struct Config {
+    /// Time between handovers (device speed proxy).
+    Duration period = std::chrono::seconds{30};
+    /// Data interruption while the device switches cells.
+    Duration interruption = std::chrono::milliseconds{80};
+  };
+
+  /// All cells serve the same device; cell 0 starts as the serving cell.
+  /// Every non-serving cell is suspended. `start()` begins the periodic
+  /// handover schedule.
+  HandoverController(sim::Scheduler& sched, Config config,
+                     std::vector<BaseStation*> cells);
+
+  void start();
+
+  /// Routes traffic via the current serving cell. During the interruption
+  /// window both cells are suspended, so routed packets drop with
+  /// DropCause::kHandover — charged (downlink) but never delivered.
+  void route_downlink(net::Packet packet);
+  void route_uplink(net::Packet packet);
+
+  [[nodiscard]] BaseStation& serving() { return *cells_[serving_index_]; }
+  [[nodiscard]] std::size_t serving_index() const { return serving_index_; }
+  [[nodiscard]] std::uint64_t handover_count() const { return handovers_; }
+
+  /// Executes one handover to the next cell immediately (also used by the
+  /// periodic schedule).
+  void execute_handover();
+
+ private:
+  sim::Scheduler& sched_;
+  Config config_;
+  std::vector<BaseStation*> cells_;
+  std::size_t serving_index_ = 0;
+  std::uint64_t handovers_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace tlc::epc

@@ -1,0 +1,34 @@
+// Subscriber / bearer identifiers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace tlc::epc {
+
+/// International Mobile Subscriber Identity, packed BCD as in the CDR of
+/// Trace 1 ("00 01 11 32 54 76 48 F5").
+struct Imsi {
+  std::array<std::uint8_t, 8> digits{};
+
+  [[nodiscard]] static Imsi from_number(std::uint64_t n) {
+    Imsi imsi;
+    for (int i = 7; i >= 0; --i) {
+      const auto lo = static_cast<std::uint8_t>(n % 10);
+      n /= 10;
+      const auto hi = static_cast<std::uint8_t>(n % 10);
+      n /= 10;
+      imsi.digits[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>((hi << 4) | lo);
+    }
+    return imsi;
+  }
+
+  friend bool operator==(const Imsi&, const Imsi&) = default;
+  friend auto operator<=>(const Imsi&, const Imsi&) = default;
+};
+
+using BearerId = std::uint32_t;
+
+}  // namespace tlc::epc

@@ -1,0 +1,2 @@
+// EdgeServerNode is header-only; this TU anchors the target.
+#include "epc/server.hpp"

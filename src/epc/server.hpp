@@ -1,0 +1,46 @@
+// The edge application server, co-located with the core (§2.1).
+//
+// The edge vendor's server-side monitor: counts the bytes the server sends
+// (downlink x̂_e, authoritative) and receives (uplink — the vendor's
+// estimate of the operator-received volume x̂_o, since the gateway→server
+// Ethernet leg is lossless). Buckets by the edge vendor's clock.
+#pragma once
+
+#include "charging/cycle.hpp"
+#include "net/packet.hpp"
+
+namespace tlc::epc {
+
+class EdgeServerNode {
+ public:
+  EdgeServerNode(charging::DataPlan plan, sim::NodeClock edge_clock)
+      : accountant_(plan, edge_clock) {}
+
+  /// The server app wrote a downlink packet to its socket.
+  void note_sent(const net::Packet& packet, TimePoint now) {
+    accountant_.record(now, charging::Direction::kDownlink, packet.size);
+  }
+
+  /// An uplink packet arrived from the gateway.
+  void on_uplink_delivered(const net::Packet& packet, TimePoint now) {
+    accountant_.record(now, charging::Direction::kUplink, packet.size);
+  }
+
+  /// Downlink volume this server sent in `cycle` (edge's x̂_e record).
+  [[nodiscard]] Bytes sent_in_cycle(std::uint64_t cycle) const {
+    return accountant_.usage(cycle).downlink;
+  }
+  /// Uplink volume this server received in `cycle` (edge's x̂_o estimate).
+  [[nodiscard]] Bytes received_in_cycle(std::uint64_t cycle) const {
+    return accountant_.usage(cycle).uplink;
+  }
+
+  [[nodiscard]] const charging::CycleAccountant& accountant() const {
+    return accountant_;
+  }
+
+ private:
+  charging::CycleAccountant accountant_;
+};
+
+}  // namespace tlc::epc

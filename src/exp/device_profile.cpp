@@ -1,0 +1,23 @@
+#include "exp/device_profile.hpp"
+
+namespace tlc::exp {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr std::array<DeviceProfile, 4> kProfiles{{
+    // name, slowdown, link latency, paper negotiation, paper verification
+    {"Z840", 1.00, milliseconds{1}, Duration::zero(), milliseconds{16}},
+    {"EL20", 1.48, milliseconds{14}, milliseconds{66}, milliseconds{23}},
+    {"S7 Edge", 3.71, milliseconds{21}, milliseconds{94}, milliseconds{58}},
+    {"Pixel 2XL", 4.82, milliseconds{24}, milliseconds{106},
+     milliseconds{76}},
+}};
+
+}  // namespace
+
+const std::array<DeviceProfile, 4>& device_profiles() { return kProfiles; }
+
+const DeviceProfile& z840_profile() { return kProfiles[0]; }
+
+}  // namespace tlc::exp

@@ -1,0 +1,34 @@
+// Device compute/RTT profiles for the Figs. 16a/17 cost experiments.
+//
+// The paper measures PoC negotiation/verification on four machines. We
+// cannot run on that hardware; instead we benchmark the real RSA operations
+// on the build host and scale by per-device factors calibrated from the
+// paper's own measurements (verification means: Z840 15.7 ms, EL20 23.2 ms,
+// S7 Edge 58.3 ms, Pixel 2 XL 75.6 ms ⇒ slowdowns 1.0 / 1.48 / 3.71 / 4.82
+// relative to the Z840).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace tlc::exp {
+
+struct DeviceProfile {
+  std::string_view name;
+  /// Crypto slowdown relative to the HP Z840 workstation.
+  double crypto_slowdown = 1.0;
+  /// One-way device↔network latency for negotiation messages.
+  Duration link_latency = std::chrono::milliseconds{12};
+  /// The paper's measured mean PoC negotiation / verification times.
+  Duration paper_negotiation = Duration::zero();
+  Duration paper_verification = Duration::zero();
+};
+
+[[nodiscard]] const std::array<DeviceProfile, 4>& device_profiles();
+
+/// The workstation profile (used for verifier throughput, Fig. 17).
+[[nodiscard]] const DeviceProfile& z840_profile();
+
+}  // namespace tlc::exp

@@ -1,0 +1,127 @@
+#include "exp/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tlc::exp {
+
+std::string_view to_string(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kLegacy:
+      return "Legacy 4G/5G";
+    case Scheme::kTlcRandom:
+      return "TLC-random";
+    case Scheme::kTlcOptimal:
+      return "TLC-optimal";
+  }
+  return "?";
+}
+
+GapSamples collect_gaps(const std::vector<ScenarioResult>& results,
+                        Scheme scheme) {
+  GapSamples out;
+  for (const auto& result : results) {
+    for (const auto& cycle : result.cycles) {
+      charging::GapMetrics gap;
+      switch (scheme) {
+        case Scheme::kLegacy:
+          gap = cycle.legacy_gap();
+          break;
+        case Scheme::kTlcRandom:
+          gap = cycle.random_gap();
+          break;
+        case Scheme::kTlcOptimal:
+          gap = cycle.optimal_gap();
+          break;
+      }
+      out.mb_per_hr.add(result.to_mb_per_hr(gap.absolute_bytes));
+      out.ratio.add(gap.ratio);
+    }
+  }
+  return out;
+}
+
+SampleSet collect_gap_reduction(const std::vector<ScenarioResult>& results) {
+  SampleSet out;
+  for (const auto& result : results) {
+    for (const auto& cycle : result.cycles) {
+      const double legacy = cycle.legacy_gap().absolute_bytes;
+      const double tlc = cycle.optimal_gap().absolute_bytes;
+      if (legacy <= 0.0) continue;
+      out.add(std::clamp((legacy - tlc) / legacy, -1.0, 1.0));
+    }
+  }
+  return out;
+}
+
+SampleSet collect_rounds(const std::vector<ScenarioResult>& results,
+                         Scheme scheme) {
+  SampleSet out;
+  for (const auto& result : results) {
+    for (const auto& cycle : result.cycles) {
+      switch (scheme) {
+        case Scheme::kLegacy:
+          out.add(0.0);
+          break;
+        case Scheme::kTlcRandom:
+          out.add(static_cast<double>(cycle.random.rounds));
+          break;
+        case Scheme::kTlcOptimal:
+          out.add(static_cast<double>(cycle.optimal.rounds));
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      std::printf("%-*s  ", static_cast<int>(widths[i]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+void print_cdf(const std::string& caption, const SampleSet& samples,
+               std::size_t points) {
+  std::printf("# CDF: %s (%zu samples)\n", caption.c_str(), samples.count());
+  if (samples.empty()) {
+    std::printf("# (no samples)\n");
+    return;
+  }
+  for (const auto& [value, fraction] : samples.cdf_points(points)) {
+    std::printf("%12.4f  %6.2f%%\n", value, fraction * 100.0);
+  }
+}
+
+}  // namespace tlc::exp

@@ -1,0 +1,53 @@
+// Aggregation and report formatting shared by the bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "exp/scenario.hpp"
+
+namespace tlc::exp {
+
+enum class Scheme { kLegacy, kTlcRandom, kTlcOptimal };
+
+[[nodiscard]] std::string_view to_string(Scheme scheme);
+
+/// Per-scheme gap samples extracted from a set of scenario results.
+struct GapSamples {
+  SampleSet mb_per_hr;  // ∆ normalised to MB/hr
+  SampleSet ratio;      // ε
+};
+
+[[nodiscard]] GapSamples collect_gaps(
+    const std::vector<ScenarioResult>& results, Scheme scheme);
+
+/// Gap-reduction ratio µ = (x_legacy − x_TLC) / x_legacy per cycle
+/// (Fig. 15); only cycles with a nonzero legacy gap contribute.
+[[nodiscard]] SampleSet collect_gap_reduction(
+    const std::vector<ScenarioResult>& results);
+
+/// Negotiation rounds per cycle for a scheme (Fig. 16b).
+[[nodiscard]] SampleSet collect_rounds(
+    const std::vector<ScenarioResult>& results, Scheme scheme);
+
+/// Fixed-width console table writer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.34" with the given precision.
+[[nodiscard]] std::string fmt(double v, int decimals = 2);
+
+/// Prints a CDF as "value fraction" rows (gnuplot-ready) with a caption.
+void print_cdf(const std::string& caption, const SampleSet& samples,
+               std::size_t points = 20);
+
+}  // namespace tlc::exp

@@ -1,0 +1,191 @@
+#include "exp/testbed.hpp"
+
+#include <algorithm>
+
+namespace tlc::exp {
+namespace {
+
+constexpr Duration kDisconnectSample = std::chrono::seconds{1};
+
+}  // namespace
+
+Testbed::Testbed(TestbedConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      device_(config_.plan, config_.edge_clock),
+      server_(config_.plan, config_.edge_clock),
+      gateway_(sched_, config_.plan, config_.operator_clock,
+               epc::Imsi::from_number(1113254764805ULL)),
+      bs_(sched_, config_.bs, rng_.fork(), device_, config_.plan,
+          config_.operator_clock),
+      backhaul_up_(sched_, config_.backhaul,
+                   [this](const net::Packet& p, TimePoint at) {
+                     server_.on_uplink_delivered(p, at);
+                   }),
+      backhaul_down_(sched_, config_.backhaul,
+                     [this](const net::Packet& p, TimePoint) {
+                       gateway_.forward_downlink(p);
+                     }),
+      rrc_(config_.plan, config_.operator_clock) {
+  config_.plan.validate();
+
+  // Mobility: instantiate the target cell before wiring, so both cells
+  // share the same sinks.
+  if (config_.handover_period > Duration::zero()) {
+    bs2_ = std::make_unique<epc::BaseStation>(sched_, config_.bs,
+                                              rng_.fork(), device_,
+                                              config_.plan,
+                                              config_.operator_clock);
+  }
+
+  const auto wire_cell = [this](epc::BaseStation& cell) {
+    cell.set_uplink_sink([this](const net::Packet& p, TimePoint at) {
+      note_truth(charging::Direction::kUplink, /*sent=*/false, p.size, at);
+      gateway_.on_uplink_from_enb(p, at);
+    });
+    cell.set_downlink_sink([this](const net::Packet& p, TimePoint at) {
+      note_truth(charging::Direction::kDownlink, /*sent=*/false, p.size, at);
+    });
+    cell.set_session_callback([this, &cell](bool attached, TimePoint) {
+      // Only the serving cell's radio-link state drives the session; a
+      // suspended neighbour's fade must not cut charging.
+      if (&cell == &serving_cell()) gateway_.set_session_up(attached);
+    });
+    cell.set_counter_check_sink(
+        [this](const epc::CounterCheckReport& report) {
+          rrc_.on_counter_check(report);
+        });
+  };
+  wire_cell(bs_);
+  if (bs2_) wire_cell(*bs2_);
+  // Downlink chain behind the charging point: gateway → SLA middlebox →
+  // base station. Anything the middlebox drops was already charged.
+  sla_box_ = std::make_unique<epc::SlaMiddlebox>(
+      sched_, epc::SlaMiddlebox::Config{config_.sla_budget}, bs_.downlink(),
+      [this](net::Packet p) {
+        if (handover_) {
+          handover_->route_downlink(std::move(p));
+        } else {
+          bs_.send_downlink(std::move(p));
+        }
+      });
+  gateway_.set_pcrf(&pcrf_);
+  gateway_.set_downlink_forward(
+      [this](net::Packet p) { sla_box_->process(std::move(p)); });
+  gateway_.set_uplink_forward(
+      [this](net::Packet p) { backhaul_up_.enqueue(std::move(p)); });
+  bs_.set_background_load(config_.background_downlink,
+                          config_.background_uplink);
+  bs_.start();
+  if (bs2_) {
+    bs2_->set_background_load(config_.background_downlink,
+                              config_.background_uplink);
+    bs2_->start();
+    handover_ = std::make_unique<epc::HandoverController>(
+        sched_,
+        epc::HandoverController::Config{config_.handover_period,
+                                        config_.handover_interruption},
+        std::vector<epc::BaseStation*>{&bs_, bs2_.get()});
+    handover_->start();
+  }
+}
+
+void Testbed::note_truth(charging::Direction direction, bool sent, Bytes size,
+                         TimePoint now) {
+  auto& table =
+      direction == charging::Direction::kUplink ? truth_ul_ : truth_dl_;
+  TruthCell& cell = table[config_.plan.cycle_at(now).index];
+  if (sent) {
+    cell.sent += size;
+  } else {
+    cell.received += size;
+  }
+}
+
+void Testbed::app_send_uplink(net::Packet packet) {
+  const TimePoint now = sched_.now();
+  device_.note_app_sent(packet, now);
+  note_truth(charging::Direction::kUplink, /*sent=*/true, packet.size, now);
+  if (handover_) {
+    handover_->route_uplink(std::move(packet));
+  } else {
+    bs_.send_uplink(std::move(packet));
+  }
+}
+
+void Testbed::app_send_downlink(net::Packet packet) {
+  const TimePoint now = sched_.now();
+  server_.note_sent(packet, now);
+  note_truth(charging::Direction::kDownlink, /*sent=*/true, packet.size, now);
+  backhaul_down_.enqueue(std::move(packet));
+}
+
+void Testbed::schedule_cycle_end_checks(TimePoint until) {
+  const Duration len = config_.plan.cycle_length;
+  for (std::int64_t k = 1;; ++k) {
+    const TimePoint local_boundary = kTimeZero + len * k;
+    const TimePoint true_boundary =
+        config_.operator_clock.true_time(local_boundary);
+    if (true_boundary > until) break;
+    if (true_boundary < sched_.now()) continue;
+    const Duration jitter = from_seconds(
+        rng_.uniform(0.0, to_seconds(config_.counter_check_jitter_max)));
+    sched_.schedule_at(true_boundary + jitter, [this] {
+      serving_cell().trigger_counter_check();
+    });
+  }
+}
+
+void Testbed::run_until(TimePoint until) {
+  schedule_cycle_end_checks(until);
+
+  // Periodic sampler attributing disconnected time to true-time cycles.
+  std::function<void()> sample = [this, &sample, until] {
+    const TimePoint now = sched_.now();
+    const Duration total = bs_.radio().disconnected_time();
+    disconnected_[config_.plan.cycle_at(now).index] +=
+        total - last_disc_total_;
+    last_disc_total_ = total;
+    if (now + kDisconnectSample <= until) {
+      sched_.schedule_after(kDisconnectSample, sample);
+    }
+  };
+  sched_.schedule_after(kDisconnectSample, sample);
+
+  sched_.run_until(until);
+}
+
+charging::GroundTruth Testbed::truth(charging::Direction direction,
+                                     std::uint64_t cycle) const {
+  const auto& table =
+      direction == charging::Direction::kUplink ? truth_ul_ : truth_dl_;
+  const auto it = table.find(cycle);
+  charging::GroundTruth truth;
+  if (it != table.end()) {
+    truth.sent = it->second.sent;
+    // Guard the invariant x̂_o ≤ x̂_e against boundary straddling (a packet
+    // sent at the very end of a cycle can be delivered in the next one).
+    truth.received = std::min(it->second.received, it->second.sent);
+  }
+  return truth;
+}
+
+core::LocalView Testbed::edge_view(charging::Direction direction,
+                                   std::uint64_t cycle) const {
+  return monitor::edge_view(device_, server_, direction, cycle);
+}
+
+core::LocalView Testbed::operator_view(
+    charging::Direction direction, std::uint64_t cycle,
+    monitor::OperatorDlSource dl_source) const {
+  return monitor::operator_view(gateway_, rrc_, bs_, device_, direction,
+                                cycle, dl_source);
+}
+
+double Testbed::disconnect_ratio(std::uint64_t cycle) const {
+  const auto it = disconnected_.find(cycle);
+  if (it == disconnected_.end()) return 0.0;
+  return to_seconds(it->second) / to_seconds(config_.plan.cycle_length);
+}
+
+}  // namespace tlc::exp

@@ -1,0 +1,137 @@
+// The simulated equivalent of the paper's Fig. 11 testbed: one edge device
+// attached to a small cell, an OpenEPC-style core (gateway + charging), and
+// a co-located edge server — with per-party clocks and ground-truth
+// bookkeeping that only the simulator can see.
+//
+// Data paths:
+//   uplink:    device app → [device modem queue + radio] → eNB → gateway
+//              (charges UL here) → Ethernet → server
+//   downlink:  server app → Ethernet → gateway (charges DL here) →
+//              [eNB queue + radio] → device
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "charging/usage.hpp"
+#include "epc/basestation.hpp"
+#include "epc/device.hpp"
+#include "epc/gateway.hpp"
+#include "epc/handover.hpp"
+#include "epc/pcrf.hpp"
+#include "epc/server.hpp"
+#include "epc/sla_middlebox.hpp"
+#include "monitor/rrc_monitor.hpp"
+#include "monitor/views.hpp"
+#include "sim/scheduler.hpp"
+
+namespace tlc::exp {
+
+struct TestbedConfig {
+  charging::DataPlan plan;
+  epc::BaseStationConfig bs;
+  net::WiredLink::Config backhaul;  // server ↔ core Ethernet
+  sim::NodeClock edge_clock;
+  sim::NodeClock operator_clock;
+  /// Downlink/uplink competing load on the cell (analytic background).
+  BitRate background_downlink;
+  BitRate background_uplink;
+  /// The operator triggers a cycle-end RRC COUNTER CHECK within this delay
+  /// after its local cycle boundary (OFCS polling granularity). This delay
+  /// is the dominant source of the operator's downlink record error
+  /// (Fig. 18): ~2 s on a 300 s cycle ≈ up to ~1.5% misattribution.
+  Duration counter_check_jitter_max = std::chrono::seconds{2};
+  /// Latency budget for the operator's SLA middlebox on the downlink
+  /// (§3.1 cause 5); zero disables it. Drops happen AFTER charging.
+  Duration sla_budget = Duration::zero();
+  /// Mobility: when positive, a second cell is instantiated and the
+  /// device hands over between the two at this period (§3.1 cause 2);
+  /// zero keeps the single static cell.
+  Duration handover_period = Duration::zero();
+  Duration handover_interruption = std::chrono::milliseconds{80};
+  std::uint64_t seed = 1;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  /// Device-side application sends an uplink packet.
+  void app_send_uplink(net::Packet packet);
+  /// Server-side application sends a downlink packet.
+  void app_send_downlink(net::Packet packet);
+
+  /// Runs the simulation to `until`, scheduling the operator's cycle-end
+  /// counter checks along the way.
+  void run_until(TimePoint until);
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] epc::EdgeDevice& device() { return device_; }
+  [[nodiscard]] epc::EdgeServerNode& server() { return server_; }
+  [[nodiscard]] epc::SpGateway& gateway() { return gateway_; }
+  [[nodiscard]] epc::BaseStation& basestation() { return bs_; }
+  /// Non-null only when mobility is configured (handover_period > 0).
+  [[nodiscard]] epc::HandoverController* handover() {
+    return handover_.get();
+  }
+  /// The cell currently serving the device.
+  [[nodiscard]] epc::BaseStation& serving_cell() {
+    return handover_ ? handover_->serving() : bs_;
+  }
+  [[nodiscard]] monitor::RrcDownlinkMonitor& rrc_monitor() { return rrc_; }
+  /// Policy rules applied by the gateway (install QCI rules here).
+  [[nodiscard]] epc::Pcrf& pcrf() { return pcrf_; }
+  [[nodiscard]] const epc::SlaMiddlebox& sla_middlebox() const {
+    return *sla_box_;
+  }
+  [[nodiscard]] const TestbedConfig& config() const { return config_; }
+
+  /// Ground truth (true-time bucketing, app flows only).
+  [[nodiscard]] charging::GroundTruth truth(charging::Direction direction,
+                                            std::uint64_t cycle) const;
+
+  /// Party views for negotiation.
+  [[nodiscard]] core::LocalView edge_view(charging::Direction direction,
+                                          std::uint64_t cycle) const;
+  [[nodiscard]] core::LocalView operator_view(
+      charging::Direction direction, std::uint64_t cycle,
+      monitor::OperatorDlSource dl_source =
+          monitor::OperatorDlSource::kRrcCounterCheck) const;
+
+  /// Fraction of `cycle` the device spent disconnected (the paper's η).
+  [[nodiscard]] double disconnect_ratio(std::uint64_t cycle) const;
+
+ private:
+  void note_truth(charging::Direction direction, bool sent, Bytes size,
+                  TimePoint now);
+  void schedule_cycle_end_checks(TimePoint until);
+
+  TestbedConfig config_;
+  sim::Scheduler sched_;
+  Rng rng_;
+  epc::EdgeDevice device_;
+  epc::EdgeServerNode server_;
+  epc::SpGateway gateway_;
+  epc::BaseStation bs_;
+  net::WiredLink backhaul_up_;    // gateway → server
+  net::WiredLink backhaul_down_;  // server → gateway
+  monitor::RrcDownlinkMonitor rrc_;
+  epc::Pcrf pcrf_;
+  std::unique_ptr<epc::SlaMiddlebox> sla_box_;  // behind the gateway
+  std::unique_ptr<epc::BaseStation> bs2_;       // mobility target cell
+  std::unique_ptr<epc::HandoverController> handover_;
+
+  struct TruthCell {
+    Bytes sent;
+    Bytes received;
+  };
+  std::map<std::uint64_t, TruthCell> truth_ul_;
+  std::map<std::uint64_t, TruthCell> truth_dl_;
+  std::map<std::uint64_t, Duration> disconnected_;
+  TimePoint last_disc_sample_ = kTimeZero;
+  Duration last_disc_total_ = Duration::zero();
+};
+
+}  // namespace tlc::exp

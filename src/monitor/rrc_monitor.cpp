@@ -1,0 +1,41 @@
+#include "monitor/rrc_monitor.hpp"
+
+namespace tlc::monitor {
+
+void RrcDownlinkMonitor::on_counter_check(
+    const epc::CounterCheckReport& report) {
+  ++reports_;
+  // Hardware counters are cumulative and monotonic; guard anyway so a
+  // malformed report cannot underflow the deltas.
+  const std::uint64_t dl_delta =
+      report.cumulative_dl_bytes >= last_dl_
+          ? report.cumulative_dl_bytes - last_dl_
+          : 0;
+  const std::uint64_t ul_delta =
+      report.cumulative_ul_bytes >= last_ul_
+          ? report.cumulative_ul_bytes - last_ul_
+          : 0;
+  last_dl_ = std::max(last_dl_, report.cumulative_dl_bytes);
+  last_ul_ = std::max(last_ul_, report.cumulative_ul_bytes);
+
+  // Attribute to the midpoint of the interval the delta accumulated over.
+  const TimePoint midpoint =
+      last_report_at_ + (report.at - last_report_at_) / 2;
+  last_report_at_ = std::max(last_report_at_, report.at);
+  const std::uint64_t cycle =
+      plan_.cycle_at(clock_.local_time(midpoint)).index;
+  dl_by_cycle_[cycle] += Bytes{dl_delta};
+  ul_by_cycle_[cycle] += Bytes{ul_delta};
+}
+
+Bytes RrcDownlinkMonitor::downlink_usage(std::uint64_t cycle) const {
+  const auto it = dl_by_cycle_.find(cycle);
+  return it == dl_by_cycle_.end() ? Bytes{0} : it->second;
+}
+
+Bytes RrcDownlinkMonitor::uplink_usage(std::uint64_t cycle) const {
+  const auto it = ul_by_cycle_.find(cycle);
+  return it == ul_by_cycle_.end() ? Bytes{0} : it->second;
+}
+
+}  // namespace tlc::monitor

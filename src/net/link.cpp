@@ -1,0 +1,161 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tlc::net {
+namespace {
+
+/// Cadence for re-probing a stalled head-of-line packet during an outage.
+constexpr Duration kStallProbe = std::chrono::milliseconds{10};
+
+}  // namespace
+
+CellLink::CellLink(sim::Scheduler& sched, Config config, RadioModel* radio,
+                   DeliverFn deliver, DropFn drop)
+    : sched_(sched),
+      config_(config),
+      radio_(radio),
+      deliver_(std::move(deliver)),
+      drop_(std::move(drop)),
+      queue_(config.buffer_size) {}
+
+void CellLink::enqueue(Packet packet) {
+  if (blocked_) {
+    report_drop(packet, blocked_cause_);
+    return;
+  }
+  auto result = queue_.enqueue(std::move(packet), sched_.now());
+  for (const auto& evicted : result.evicted) {
+    report_drop(evicted.packet, DropCause::kQueueOverflow);
+  }
+  if (result.rejected.has_value()) {
+    report_drop(*result.rejected, DropCause::kQueueOverflow);
+  }
+  maybe_start_service();
+}
+
+void CellLink::set_background_load(BitRate load) { background_ = load; }
+
+void CellLink::set_blocked(bool blocked, DropCause cause) {
+  blocked_ = blocked;
+  blocked_cause_ = cause;
+}
+
+void CellLink::flush(DropCause cause) {
+  for (const auto& entry : queue_.flush()) {
+    report_drop(entry.packet, cause);
+  }
+}
+
+BitRate CellLink::residual_capacity(Qci qci) const {
+  const auto nominal = static_cast<double>(config_.capacity.bps());
+  if (priority(qci) < priority(Qci::kQci9)) {
+    return config_.capacity;  // preempts best-effort background
+  }
+  const auto bg = static_cast<double>(background_.bps());
+  const double floor = nominal * config_.residual_floor;
+  return BitRate{
+      static_cast<std::uint64_t>(std::max(floor, nominal - bg))};
+}
+
+void CellLink::maybe_start_service() {
+  if (busy_ || queue_.empty()) return;
+  busy_ = true;
+  sched_.schedule_after(Duration::zero(), [this] { service_head(); });
+}
+
+void CellLink::service_head() {
+  const QciQueue::Entry* head = queue_.peek();
+  if (head == nullptr) {
+    busy_ = false;
+    return;
+  }
+
+  const TimePoint now = sched_.now();
+
+  // Age out packets that waited through too long an outage.
+  if (now - head->enqueued > config_.max_buffer_wait) {
+    auto entry = queue_.pop();
+    report_drop(entry->packet, DropCause::kBufferTimeout);
+    sched_.schedule_after(Duration::zero(), [this] { service_head(); });
+    return;
+  }
+
+  // Radio outage: the head stalls (eNodeB buffers) — probe again shortly.
+  if (radio_ != nullptr && !radio_->state_at(now).connected) {
+    sched_.schedule_after(kStallProbe, [this] { service_head(); });
+    return;
+  }
+
+  auto entry = queue_.pop();
+  const Duration tx_time =
+      residual_capacity(entry->packet.qci).transmission_time(entry->packet.size);
+  sched_.schedule_after(tx_time, [this, e = std::move(*entry)]() mutable {
+    complete_transmission(std::move(e));
+  });
+}
+
+void CellLink::complete_transmission(QciQueue::Entry entry) {
+  const TimePoint now = sched_.now();
+  bool lost = false;
+  DropCause cause = DropCause::kNone;
+  if (radio_ != nullptr) {
+    const RadioState& rs = radio_->state_at(now);
+    if (!rs.connected) {
+      lost = true;
+      cause = DropCause::kDisconnected;
+    } else if (radio_->transmission_lost(now)) {
+      lost = true;
+      cause = DropCause::kRadioLoss;
+    } else if (config_.congestion_loss > 0.0 &&
+               priority(entry.packet.qci) >= priority(Qci::kQci9) &&
+               radio_->draw(config_.congestion_loss)) {
+      lost = true;
+      cause = DropCause::kCongestionLoss;
+    }
+  }
+
+  if (lost) {
+    report_drop(entry.packet, cause);
+  } else {
+    ++stats_.delivered_packets;
+    stats_.delivered_bytes += entry.packet.size;
+    const TimePoint arrival = now + config_.propagation_delay;
+    sched_.schedule_at(arrival, [this, p = entry.packet, arrival] {
+      deliver_(p, arrival);
+    });
+  }
+
+  // Continue serving.
+  if (queue_.empty()) {
+    busy_ = false;
+  } else {
+    sched_.schedule_after(Duration::zero(), [this] { service_head(); });
+  }
+}
+
+void CellLink::report_drop(const Packet& packet, DropCause cause) {
+  ++stats_.dropped_packets;
+  stats_.dropped_bytes += packet.size;
+  ++stats_.drops_by_cause[cause];
+  if (drop_) drop_(packet, cause, sched_.now());
+}
+
+WiredLink::WiredLink(sim::Scheduler& sched, Config config,
+                     CellLink::DeliverFn deliver)
+    : sched_(sched), config_(config), deliver_(std::move(deliver)) {}
+
+void WiredLink::enqueue(Packet packet) {
+  const TimePoint now = sched_.now();
+  const TimePoint start = std::max(now, pipe_free_at_);
+  const Duration tx_time = config_.capacity.transmission_time(packet.size);
+  pipe_free_at_ = start + tx_time;
+  const TimePoint arrival = pipe_free_at_ + config_.latency;
+  ++stats_.delivered_packets;
+  stats_.delivered_bytes += packet.size;
+  sched_.schedule_at(arrival,
+                     [this, p = std::move(packet), arrival] { deliver_(p, arrival); });
+}
+
+}  // namespace tlc::net

@@ -1,0 +1,134 @@
+// Simulated links.
+//
+// CellLink models one direction of the air interface: a QCI priority queue
+// drained at the link's *residual* capacity (nominal capacity minus the
+// competing background load), with the attached RadioModel deciding, per
+// transmission, whether the packet survives the air. During a coverage
+// outage the head of the queue stalls — the eNodeB buffering the paper
+// observes in Fig. 4 — until the radio returns, the packet ages out, or the
+// owner (BaseStation) flushes the queue on detach.
+//
+// WiredLink models the lossless 1 Gbps Ethernet between the edge server and
+// the core: fixed latency, no queueing of interest.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "net/queue.hpp"
+#include "net/radio.hpp"
+#include "sim/scheduler.hpp"
+
+namespace tlc::net {
+
+struct LinkStats {
+  std::uint64_t delivered_packets = 0;
+  Bytes delivered_bytes;
+  std::uint64_t dropped_packets = 0;
+  Bytes dropped_bytes;
+  std::map<DropCause, std::uint64_t> drops_by_cause;
+};
+
+class CellLink {
+ public:
+  struct Config {
+    BitRate capacity = BitRate::from_mbps(170.0);
+    Bytes buffer_size{1000 * 1000};  // 1 MB eNodeB-style buffer
+    Duration propagation_delay = std::chrono::milliseconds{5};
+    /// Longest a packet may wait in the buffer (outage survival window).
+    Duration max_buffer_wait = std::chrono::seconds{3};
+    /// Floor on residual capacity as a fraction of nominal (scheduler never
+    /// starves a bearer entirely).
+    double residual_floor = 0.02;
+    /// Per-transmission loss probability from air-interface contention
+    /// under heavy cell load (the paper's iperf background ran to a
+    /// *separate* phone, so it congests the air, not this bearer's queue).
+    /// Priority bearers (QCI < 9) are exempt — guaranteed scheduling.
+    double congestion_loss = 0.0;
+  };
+
+  using DeliverFn = std::function<void(const Packet&, TimePoint)>;
+  using DropFn = std::function<void(const Packet&, DropCause, TimePoint)>;
+
+  /// `radio` may be null for a radio-less (wired-like) hop.
+  CellLink(sim::Scheduler& sched, Config config, RadioModel* radio,
+           DeliverFn deliver, DropFn drop);
+
+  CellLink(const CellLink&) = delete;
+  CellLink& operator=(const CellLink&) = delete;
+
+  /// Admits a packet to the queue; may synchronously report congestion
+  /// drops (evictions or rejection) through the drop callback.
+  void enqueue(Packet packet);
+
+  /// Competing traffic sharing this direction of the cell; reduces the
+  /// residual service rate available to this queue.
+  void set_background_load(BitRate load);
+  [[nodiscard]] BitRate background_load() const { return background_; }
+
+  /// Updates the load-dependent air-contention loss probability.
+  void set_congestion_loss(double probability) {
+    config_.congestion_loss = probability;
+  }
+  [[nodiscard]] double congestion_loss() const {
+    return config_.congestion_loss;
+  }
+
+  /// Gate used by the BaseStation: while blocked (device detached) every
+  /// arriving packet is dropped with the given cause.
+  void set_blocked(bool blocked, DropCause cause = DropCause::kDetached);
+  [[nodiscard]] bool blocked() const { return blocked_; }
+
+  /// Drops everything currently queued (detach flush).
+  void flush(DropCause cause);
+
+  /// Service rate available to a packet of the given class. Background
+  /// load rides the best-effort bearer (QCI 9), so higher-priority classes
+  /// preempt it and see the full capacity — the reason the paper's QCI 7
+  /// gaming bearer stays nearly gap-free under congestion (Fig. 12d).
+  [[nodiscard]] BitRate residual_capacity(Qci qci = Qci::kQci9) const;
+  [[nodiscard]] const LinkStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] Bytes queued_bytes() const { return queue_.used(); }
+
+ private:
+  void maybe_start_service();
+  void service_head();
+  void complete_transmission(QciQueue::Entry entry);
+  void report_drop(const Packet& packet, DropCause cause);
+
+  sim::Scheduler& sched_;
+  Config config_;
+  RadioModel* radio_;
+  DeliverFn deliver_;
+  DropFn drop_;
+  QciQueue queue_;
+  BitRate background_;
+  bool busy_ = false;
+  bool blocked_ = false;
+  DropCause blocked_cause_ = DropCause::kDetached;
+  LinkStats stats_;
+};
+
+class WiredLink {
+ public:
+  struct Config {
+    BitRate capacity = BitRate::from_mbps(1000.0);
+    Duration latency = std::chrono::microseconds{200};
+  };
+
+  WiredLink(sim::Scheduler& sched, Config config, CellLink::DeliverFn deliver);
+
+  void enqueue(Packet packet);
+
+  [[nodiscard]] const LinkStats& stats() const { return stats_; }
+
+ private:
+  sim::Scheduler& sched_;
+  Config config_;
+  CellLink::DeliverFn deliver_;
+  TimePoint pipe_free_at_ = kTimeZero;
+  LinkStats stats_;
+};
+
+}  // namespace tlc::net

@@ -1,0 +1,66 @@
+// The unit of simulated traffic.
+#pragma once
+
+#include <cstdint>
+
+#include "charging/usage.hpp"
+#include "common/units.hpp"
+#include "net/qos.hpp"
+
+namespace tlc::net {
+
+using FlowId = std::uint32_t;
+
+/// Why a packet left the network without being delivered. Mirrors the
+/// loss taxonomy of §3.1.
+enum class DropCause : std::uint8_t {
+  kNone = 0,
+  kRadioLoss,        // PHY: error at current RSS
+  kDisconnected,     // PHY: intermittent no-coverage interval
+  kQueueOverflow,    // IP: congestion drop at the cell queue
+  kCongestionLoss,   // air-interface loss under heavy cell load
+  kDetached,         // link: device detached after radio-link failure
+  kSlaViolation,     // app: middlebox dropped an over-deadline frame
+  kBufferTimeout,    // link: buffered too long during an outage
+  kHandover,         // link: lost in a base-station handover (§3.1 cause 2)
+};
+
+[[nodiscard]] constexpr const char* to_string(DropCause c) {
+  switch (c) {
+    case DropCause::kNone:
+      return "none";
+    case DropCause::kRadioLoss:
+      return "radio-loss";
+    case DropCause::kDisconnected:
+      return "disconnected";
+    case DropCause::kQueueOverflow:
+      return "queue-overflow";
+    case DropCause::kCongestionLoss:
+      return "congestion-loss";
+    case DropCause::kDetached:
+      return "detached";
+    case DropCause::kSlaViolation:
+      return "sla-violation";
+    case DropCause::kBufferTimeout:
+      return "buffer-timeout";
+    case DropCause::kHandover:
+      return "handover";
+  }
+  return "?";
+}
+
+struct Packet {
+  std::uint64_t id = 0;
+  FlowId flow = 0;
+  Bytes size;
+  Qci qci = Qci::kQci9;
+  charging::Direction direction = charging::Direction::kDownlink;
+  TimePoint created = kTimeZero;
+  /// Frame sequence within the application stream (for retransmission and
+  /// SLA bookkeeping); 0 when not applicable.
+  std::uint64_t app_seq = 0;
+  /// True for retransmitted copies (transport-layer gap cause, §3.1).
+  bool is_retransmission = false;
+};
+
+}  // namespace tlc::net

@@ -1,0 +1,43 @@
+// 3GPP QoS Class Identifiers used by the paper's scenarios.
+//
+// The gaming-acceleration use case (§2.2) assigns QCI 7 (interactive gaming,
+// 100 ms budget) to the game bearer while background traffic rides QCI 9
+// (best effort). Lower QCI priority value = served first.
+#pragma once
+
+#include <cstdint>
+
+namespace tlc::net {
+
+enum class Qci : std::uint8_t {
+  kQci3 = 3,  // real-time gaming, GBR, 50 ms budget
+  kQci7 = 7,  // voice/video/interactive gaming, non-GBR, 100 ms budget
+  kQci9 = 9,  // best-effort default bearer
+};
+
+/// 3GPP TS 23.203 priority levels (lower = more important).
+[[nodiscard]] constexpr int priority(Qci qci) {
+  switch (qci) {
+    case Qci::kQci3:
+      return 3;
+    case Qci::kQci7:
+      return 7;
+    case Qci::kQci9:
+      return 9;
+  }
+  return 9;
+}
+
+[[nodiscard]] constexpr const char* to_string(Qci qci) {
+  switch (qci) {
+    case Qci::kQci3:
+      return "QCI3";
+    case Qci::kQci7:
+      return "QCI7";
+    case Qci::kQci9:
+      return "QCI9";
+  }
+  return "QCI?";
+}
+
+}  // namespace tlc::net

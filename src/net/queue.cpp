@@ -1,0 +1,67 @@
+#include "net/queue.hpp"
+
+namespace tlc::net {
+
+QciQueue::AdmitResult QciQueue::enqueue(Packet packet, TimePoint now) {
+  AdmitResult result;
+  const int incoming_priority = priority(packet.qci);
+
+  // Make room by evicting from the least-important class whose priority
+  // value is ≥ the incoming packet's (i.e. not more important than it).
+  while (used_ + packet.size > capacity_) {
+    auto victim_class = classes_.rbegin();
+    while (victim_class != classes_.rend() && victim_class->second.empty()) {
+      ++victim_class;
+    }
+    if (victim_class == classes_.rend() ||
+        victim_class->first < incoming_priority) {
+      // Nothing less important to evict: reject the arrival itself.
+      result.rejected = std::move(packet);
+      return result;
+    }
+    Entry victim = std::move(victim_class->second.back());
+    victim_class->second.pop_back();
+    used_ -= victim.packet.size;
+    --size_;
+    result.evicted.push_back(std::move(victim));
+  }
+
+  used_ += packet.size;
+  ++size_;
+  classes_[incoming_priority].push_back(Entry{std::move(packet), now});
+  return result;
+}
+
+const QciQueue::Entry* QciQueue::peek() const {
+  for (const auto& [prio, fifo] : classes_) {
+    if (!fifo.empty()) return &fifo.front();
+  }
+  return nullptr;
+}
+
+std::optional<QciQueue::Entry> QciQueue::pop() {
+  for (auto& [prio, fifo] : classes_) {
+    if (!fifo.empty()) {
+      Entry entry = std::move(fifo.front());
+      fifo.pop_front();
+      used_ -= entry.packet.size;
+      --size_;
+      return entry;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<QciQueue::Entry> QciQueue::flush() {
+  std::vector<Entry> out;
+  out.reserve(size_);
+  for (auto& [prio, fifo] : classes_) {
+    for (auto& entry : fifo) out.push_back(std::move(entry));
+    fifo.clear();
+  }
+  used_ = Bytes{0};
+  size_ = 0;
+  return out;
+}
+
+}  // namespace tlc::net

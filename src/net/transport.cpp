@@ -1,0 +1,62 @@
+#include "net/transport.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tlc::net {
+
+ArqSender::ArqSender(sim::Scheduler& sched, Config config, SendFn send,
+                     GiveUpFn give_up)
+    : sched_(sched),
+      config_(config),
+      send_(std::move(send)),
+      give_up_(std::move(give_up)) {
+  if (!send_) throw std::invalid_argument{"ArqSender: send callback required"};
+}
+
+void ArqSender::send_frame(Packet packet) {
+  const std::uint64_t seq = packet.app_seq;
+  if (pending_.contains(seq)) {
+    throw std::logic_error{"ArqSender::send_frame: duplicate app_seq"};
+  }
+  Pending& p = pending_[seq];
+  p.packet = std::move(packet);
+  transmit(seq);
+}
+
+void ArqSender::transmit(std::uint64_t app_seq) {
+  auto it = pending_.find(app_seq);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  ++p.attempts;
+  ++transmissions_;
+  if (p.attempts > 1) {
+    ++retransmissions_;
+  }
+  Packet copy = p.packet;
+  copy.is_retransmission = p.attempts > 1;
+  send_(std::move(copy));
+  p.timer = sched_.schedule_after(config_.rto,
+                                  [this, app_seq] { on_timeout(app_seq); });
+}
+
+void ArqSender::on_timeout(std::uint64_t app_seq) {
+  auto it = pending_.find(app_seq);
+  if (it == pending_.end()) return;
+  if (it->second.attempts > config_.max_retries) {
+    ++abandoned_;
+    pending_.erase(it);
+    if (give_up_) give_up_(app_seq);
+    return;
+  }
+  transmit(app_seq);
+}
+
+void ArqSender::on_ack(std::uint64_t app_seq) {
+  auto it = pending_.find(app_seq);
+  if (it == pending_.end()) return;  // late/duplicate ack
+  sched_.cancel(it->second.timer);
+  pending_.erase(it);
+}
+
+}  // namespace tlc::net

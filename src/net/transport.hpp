@@ -1,0 +1,66 @@
+// A minimal stop-and-wait-per-frame ARQ sender.
+//
+// Exists to reproduce gap cause (4) of §3.1 — transport-layer *spurious*
+// retransmission: when the ACK is merely delayed past the RTO, the sender
+// retransmits a frame the receiver already got, the gateway charges the
+// duplicate, and the receiver-side count does not grow. TCP-based apps in
+// the paper's measurement studies over-pay exactly this way.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "net/packet.hpp"
+#include "sim/scheduler.hpp"
+
+namespace tlc::net {
+
+class ArqSender {
+ public:
+  struct Config {
+    Duration rto = std::chrono::milliseconds{200};
+    int max_retries = 3;
+  };
+
+  using SendFn = std::function<void(Packet)>;
+  /// Invoked when a frame is abandoned after max_retries.
+  using GiveUpFn = std::function<void(std::uint64_t app_seq)>;
+
+  ArqSender(sim::Scheduler& sched, Config config, SendFn send,
+            GiveUpFn give_up = nullptr);
+
+  /// Sends a new application frame; retransmits on RTO until acked.
+  void send_frame(Packet packet);
+
+  /// Receiver feedback path (cumulative is not assumed; per-frame acks).
+  void on_ack(std::uint64_t app_seq);
+
+  [[nodiscard]] std::uint64_t transmissions() const { return transmissions_; }
+  [[nodiscard]] std::uint64_t retransmissions() const {
+    return retransmissions_;
+  }
+  [[nodiscard]] std::uint64_t abandoned() const { return abandoned_; }
+  [[nodiscard]] std::size_t in_flight() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    Packet packet;
+    int attempts = 0;
+    sim::EventId timer = 0;
+  };
+
+  void transmit(std::uint64_t app_seq);
+  void on_timeout(std::uint64_t app_seq);
+
+  sim::Scheduler& sched_;
+  Config config_;
+  SendFn send_;
+  GiveUpFn give_up_;
+  std::map<std::uint64_t, Pending> pending_;
+  std::uint64_t transmissions_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t abandoned_ = 0;
+};
+
+}  // namespace tlc::net

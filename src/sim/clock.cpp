@@ -1,0 +1,26 @@
+#include "sim/clock.hpp"
+
+#include <cmath>
+
+namespace tlc::sim {
+
+TimePoint NodeClock::local_time(TimePoint t) const {
+  const double elapsed = to_seconds(t.time_since_epoch());
+  const double skew = elapsed * drift_ppm_ * 1e-6;
+  return t + offset_ + from_seconds(skew);
+}
+
+TimePoint NodeClock::true_time(TimePoint local) const {
+  // local = t + offset + t*ppm  =>  t = (local - offset) / (1 + ppm)
+  const double local_s = to_seconds(local.time_since_epoch());
+  const double offset_s = to_seconds(offset_);
+  const double t = (local_s - offset_s) / (1.0 + drift_ppm_ * 1e-6);
+  return TimePoint{from_seconds(t)};
+}
+
+void NodeClock::resync(Duration residual) {
+  offset_ = residual;
+  drift_ppm_ = 0.0;
+}
+
+}  // namespace tlc::sim

@@ -1,0 +1,41 @@
+// Per-node clocks with configurable offset and drift.
+//
+// TLC requires the operator and edge vendor to agree on charging-cycle
+// boundaries (§5.3.1, synced "e.g. via NTP"). Figure 18 of the paper shows
+// that residual clock misalignment is the dominant source of charging-record
+// error. NodeClock models each party's wall clock as
+//     local(t) = t + offset + drift · t
+// so experiments can dial the misalignment from perfect (0) to unsynced
+// (hundreds of ms) and reproduce that error distribution.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace tlc::sim {
+
+class NodeClock {
+ public:
+  NodeClock() = default;
+  NodeClock(Duration offset, double drift_ppm)
+      : offset_(offset), drift_ppm_(drift_ppm) {}
+
+  /// The node's local reading at true (simulated) time `t`.
+  [[nodiscard]] TimePoint local_time(TimePoint t) const;
+
+  /// Inverse mapping: the true time at which this node's clock reads
+  /// `local`. Used to convert configured cycle boundaries into true times.
+  [[nodiscard]] TimePoint true_time(TimePoint local) const;
+
+  [[nodiscard]] Duration offset() const { return offset_; }
+  [[nodiscard]] double drift_ppm() const { return drift_ppm_; }
+
+  /// Simulates an NTP resync: reduces the offset to `residual` and zeroes
+  /// drift (drift re-accumulates only if the caller sets it again).
+  void resync(Duration residual);
+
+ private:
+  Duration offset_ = Duration::zero();
+  double drift_ppm_ = 0.0;
+};
+
+}  // namespace tlc::sim

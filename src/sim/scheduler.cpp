@@ -1,0 +1,70 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tlc::sim {
+
+EventId Scheduler::schedule_at(TimePoint when, std::function<void()> fn) {
+  if (when < now_) {
+    throw std::invalid_argument{"Scheduler::schedule_at: time in the past"};
+  }
+  const EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+EventId Scheduler::schedule_after(Duration delay, std::function<void()> fn) {
+  if (delay < Duration::zero()) {
+    throw std::invalid_argument{"Scheduler::schedule_after: negative delay"};
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Scheduler::cancel(EventId id) {
+  cancelled_.push_back(id);
+  ++cancelled_count_;
+}
+
+bool Scheduler::is_cancelled(EventId id) {
+  if (cancelled_.empty()) return false;
+  const auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+  if (it == cancelled_.end()) return false;
+  cancelled_.erase(it);
+  return true;
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (is_cancelled(ev.id)) continue;
+    now_ = ev.when;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Scheduler::run_until(TimePoint deadline) {
+  std::uint64_t dispatched = 0;
+  while (!queue_.empty()) {
+    if (queue_.top().when > deadline) break;
+    if (step()) ++dispatched;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return dispatched;
+}
+
+std::uint64_t Scheduler::run() {
+  std::uint64_t dispatched = 0;
+  while (step()) ++dispatched;
+  return dispatched;
+}
+
+std::size_t Scheduler::pending_events() const {
+  return queue_.size() - std::min<std::size_t>(queue_.size(),
+                                               cancelled_.size());
+}
+
+}  // namespace tlc::sim

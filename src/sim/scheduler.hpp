@@ -1,0 +1,75 @@
+// Discrete-event simulation scheduler.
+//
+// All network, EPC, and protocol behaviour in this reproduction runs on one
+// of these: components schedule callbacks at absolute or relative simulated
+// times, and `run_until`/`run` dispatch them in timestamp order. Ties are
+// broken by insertion order so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace tlc::sim {
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time (advances only inside run/run_until/step).
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `when` (must be ≥ now()).
+  EventId schedule_at(TimePoint when, std::function<void()> fn);
+
+  /// Schedule `fn` after `delay` from now.
+  EventId schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Cancel a pending event; no-op if already fired or cancelled.
+  void cancel(EventId id);
+
+  /// Dispatch the next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or `deadline` passes. Time is left at
+  /// min(deadline, last event time). Returns number of events dispatched.
+  std::uint64_t run_until(TimePoint deadline);
+
+  /// Run until the queue drains entirely.
+  std::uint64_t run();
+
+  [[nodiscard]] std::size_t pending_events() const;
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;  // FIFO tie-break
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_ = kTimeZero;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t cancelled_count_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<EventId> cancelled_;  // sorted on demand
+
+  bool is_cancelled(EventId id);
+};
+
+}  // namespace tlc::sim

@@ -1,0 +1,90 @@
+#include "tlc/multi.hpp"
+
+#include <stdexcept>
+
+namespace tlc::core {
+
+MultiOperatorSession::MultiOperatorSession(crypto::KeyPair edge_keys, Rng rng)
+    : edge_keys_(std::move(edge_keys)),
+      rng_(rng),
+      default_strategy_(make_optimal_edge()) {
+  if (!edge_keys_.valid()) {
+    throw std::invalid_argument{"MultiOperatorSession: edge keys required"};
+  }
+}
+
+void MultiOperatorSession::add_operator(OperatorConfig config) {
+  if (config.name.empty()) {
+    throw std::invalid_argument{"MultiOperatorSession: operator name empty"};
+  }
+  if (!config.operator_key.valid()) {
+    throw std::invalid_argument{
+        "MultiOperatorSession: operator public key required"};
+  }
+  config.plan.validate();
+  const std::string name = config.name;
+  if (!operators_.emplace(name, PerOperator{std::move(config), {}, {}, {}})
+           .second) {
+    throw std::invalid_argument{"MultiOperatorSession: duplicate operator"};
+  }
+}
+
+void MultiOperatorSession::set_cycle_view(const std::string& operator_name,
+                                          charging::ChargingCycle cycle,
+                                          LocalView view,
+                                          charging::Direction direction) {
+  const auto it = operators_.find(operator_name);
+  if (it == operators_.end()) {
+    throw std::invalid_argument{"MultiOperatorSession: unknown operator"};
+  }
+  it->second.cycle = cycle;
+  it->second.view = view;
+  it->second.direction = direction;
+}
+
+ProtocolParty MultiOperatorSession::make_party(
+    const std::string& operator_name, const Strategy& strategy) {
+  const auto it = operators_.find(operator_name);
+  if (it == operators_.end()) {
+    throw std::invalid_argument{"MultiOperatorSession: unknown operator"};
+  }
+  const PerOperator& op = it->second;
+  if (!op.cycle.has_value()) {
+    throw std::logic_error{
+        "MultiOperatorSession: set_cycle_view before make_party"};
+  }
+  ProtocolParty::Config cfg;
+  cfg.role = PartyRole::kEdgeVendor;
+  cfg.plan = op.config.plan;
+  cfg.cycle = *op.cycle;
+  cfg.direction = op.direction;
+  cfg.view = op.view;
+  return ProtocolParty{cfg, strategy, edge_keys_, op.config.operator_key,
+                       rng_.fork()};
+}
+
+ProtocolParty MultiOperatorSession::make_party(
+    const std::string& operator_name) {
+  return make_party(operator_name, *default_strategy_);
+}
+
+void MultiOperatorSession::record_settlement(const std::string& operator_name,
+                                             const ProtocolParty& party) {
+  Settlement s;
+  s.operator_name = operator_name;
+  s.converged = party.state() == ProtocolState::kDone;
+  s.charged = party.charged();
+  s.rounds = party.rounds();
+  s.poc = party.poc();
+  settlements_.push_back(std::move(s));
+}
+
+Bytes MultiOperatorSession::total_charged() const {
+  Bytes total;
+  for (const auto& s : settlements_) {
+    if (s.converged) total += s.charged;
+  }
+  return total;
+}
+
+}  // namespace tlc::core

@@ -1,0 +1,80 @@
+// Multi-access edge charging (§8).
+//
+// Some edge scenarios (V2X, coverage-critical deployments) bond several
+// operators' 4G/5G networks. TLC extends naturally: the edge classifies
+// its traffic by operator, keeps a per-operator record, and runs an
+// independent signed negotiation with each operator — one PoC per operator
+// per cycle. This class manages that fan-out on the edge-vendor side and
+// exposes the consolidated result.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tlc/protocol.hpp"
+
+namespace tlc::core {
+
+class MultiOperatorSession {
+ public:
+  struct OperatorConfig {
+    std::string name;
+    charging::DataPlan plan;
+    crypto::PublicKey operator_key;
+  };
+
+  /// `edge_keys` signs toward every operator; strategies may differ per
+  /// operator but default to the rational minimax one.
+  MultiOperatorSession(crypto::KeyPair edge_keys, Rng rng);
+
+  void add_operator(OperatorConfig config);
+
+  /// Per-cycle traffic classification result for one operator: the edge's
+  /// local view of the traffic it exchanged via that operator.
+  void set_cycle_view(const std::string& operator_name,
+                      charging::ChargingCycle cycle, LocalView view,
+                      charging::Direction direction);
+
+  /// Builds the edge-side protocol party toward `operator_name` for the
+  /// most recently set cycle view. Throws if unknown or view unset.
+  [[nodiscard]] ProtocolParty make_party(const std::string& operator_name,
+                                         const Strategy& strategy);
+  [[nodiscard]] ProtocolParty make_party(const std::string& operator_name);
+
+  struct Settlement {
+    std::string operator_name;
+    bool converged = false;
+    Bytes charged;
+    int rounds = 0;
+    std::optional<PocMsg> poc;
+  };
+
+  /// Records a finished party's outcome for consolidation.
+  void record_settlement(const std::string& operator_name,
+                         const ProtocolParty& party);
+
+  /// All recorded settlements plus the total across operators.
+  [[nodiscard]] const std::vector<Settlement>& settlements() const {
+    return settlements_;
+  }
+  [[nodiscard]] Bytes total_charged() const;
+  [[nodiscard]] std::size_t operator_count() const { return operators_.size(); }
+
+ private:
+  struct PerOperator {
+    OperatorConfig config;
+    std::optional<charging::ChargingCycle> cycle;
+    LocalView view;
+    charging::Direction direction = charging::Direction::kUplink;
+  };
+
+  crypto::KeyPair edge_keys_;
+  Rng rng_;
+  StrategyPtr default_strategy_;
+  std::map<std::string, PerOperator> operators_;
+  std::vector<Settlement> settlements_;
+};
+
+}  // namespace tlc::core

@@ -1,0 +1,97 @@
+#include "tlc/receipt_store.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "wire/codec.hpp"
+
+namespace tlc::core {
+namespace {
+
+constexpr char kMagic[8] = {'T', 'L', 'C', 'R', 'C', 'P', 'T', '1'};
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  const char bytes[4] = {
+      static_cast<char>(v >> 24), static_cast<char>(v >> 16),
+      static_cast<char>(v >> 8), static_cast<char>(v)};
+  os.write(bytes, 4);
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  unsigned char bytes[4];
+  is.read(reinterpret_cast<char*>(bytes), 4);
+  if (!is) throw std::runtime_error{"ReceiptStore: truncated record length"};
+  return (static_cast<std::uint32_t>(bytes[0]) << 24) |
+         (static_cast<std::uint32_t>(bytes[1]) << 16) |
+         (static_cast<std::uint32_t>(bytes[2]) << 8) |
+         static_cast<std::uint32_t>(bytes[3]);
+}
+
+}  // namespace
+
+ReceiptStore::ReceiptStore(std::filesystem::path path)
+    : path_(std::move(path)) {}
+
+void ReceiptStore::append(const PocMsg& poc) {
+  const bool fresh = !std::filesystem::exists(path_);
+  std::ofstream os{path_, std::ios::binary | std::ios::app};
+  if (!os) {
+    throw std::runtime_error{"ReceiptStore: cannot open " + path_.string()};
+  }
+  if (fresh) os.write(kMagic, sizeof(kMagic));
+  const ByteVec bytes = poc.encode();
+  write_u32(os, static_cast<std::uint32_t>(bytes.size()));
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+  if (!os) throw std::runtime_error{"ReceiptStore: write failed"};
+}
+
+std::vector<PocMsg> ReceiptStore::load_all() const {
+  std::vector<PocMsg> out;
+  if (!std::filesystem::exists(path_)) return out;
+  std::ifstream is{path_, std::ios::binary};
+  if (!is) {
+    throw std::runtime_error{"ReceiptStore: cannot open " + path_.string()};
+  }
+  char magic[sizeof(kMagic)];
+  is.read(magic, sizeof(magic));
+  if (!is || !std::equal(std::begin(magic), std::end(magic),
+                         std::begin(kMagic))) {
+    throw std::runtime_error{"ReceiptStore: not a receipt file"};
+  }
+  while (is.peek() != std::ifstream::traits_type::eof()) {
+    const std::uint32_t len = read_u32(is);
+    ByteVec bytes(len);
+    is.read(reinterpret_cast<char*>(bytes.data()), len);
+    if (!is) throw std::runtime_error{"ReceiptStore: truncated record"};
+    try {
+      out.push_back(PocMsg::decode(bytes));
+    } catch (const wire::DecodeError& e) {
+      throw std::runtime_error{std::string{"ReceiptStore: corrupt record: "} +
+                               e.what()};
+    }
+  }
+  return out;
+}
+
+std::size_t ReceiptStore::count() const { return load_all().size(); }
+
+ReceiptStore::AuditReport ReceiptStore::audit(
+    PublicVerifier& verifier) const {
+  AuditReport report;
+  for (const PocMsg& poc : load_all()) {
+    ++report.total;
+    VerifiedCharge charge;
+    const VerifyResult result = verifier.verify(poc.encode(), &charge);
+    ++report.by_result[result];
+    if (result == VerifyResult::kOk) {
+      ++report.accepted;
+      report.total_verified_volume += charge.charged;
+    } else {
+      ++report.rejected;
+    }
+  }
+  return report;
+}
+
+}  // namespace tlc::core

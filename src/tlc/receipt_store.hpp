@@ -1,0 +1,50 @@
+// Durable Proof-of-Charging archive.
+//
+// Both parties "locally store [the PoC] as a charging receipt" (§5.3.2);
+// disputes may surface months later (the lawsuits of §1), so receipts need
+// a durable, audit-friendly store. Format: a length-prefixed sequence of
+// encoded PoCs with a magic header — append-only, order-preserving, and
+// auditable in one pass with a PublicVerifier.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <vector>
+
+#include "tlc/messages.hpp"
+#include "tlc/verifier.hpp"
+
+namespace tlc::core {
+
+class ReceiptStore {
+ public:
+  explicit ReceiptStore(std::filesystem::path path);
+
+  /// Appends one receipt (creates the file with a header if absent).
+  void append(const PocMsg& poc);
+
+  /// Loads every stored receipt; throws std::runtime_error on a corrupt
+  /// or foreign file.
+  [[nodiscard]] std::vector<PocMsg> load_all() const;
+
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+  struct AuditReport {
+    std::uint64_t total = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::map<VerifyResult, std::uint64_t> by_result;
+    Bytes total_verified_volume;
+  };
+
+  /// Verifies every stored receipt against `verifier` (Algorithm 2 per
+  /// receipt; the verifier's replay cache catches duplicate receipts).
+  [[nodiscard]] AuditReport audit(PublicVerifier& verifier) const;
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace tlc::core

@@ -1,0 +1,199 @@
+#include "tlc/strategy.hpp"
+
+#include <algorithm>
+
+namespace tlc::core {
+namespace {
+
+/// Operator-side cross-check: reject an edge claim x_e below the volume the
+/// operator knows was received (x_e < x̂_o would mean the edge under-claims
+/// below even the delivered data).
+bool operator_rejects(Bytes edge_claim, const LocalView& view,
+                      const CrossCheckTolerance& tol) {
+  const Bytes slack = tol.slack_for(view.received_estimate);
+  return edge_claim + slack < view.received_estimate;
+}
+
+/// Edge-side cross-check: reject an operator claim x_o above the volume the
+/// edge knows was sent (x_o > x̂_e would mean charging data never sent).
+bool edge_rejects(Bytes operator_claim, const LocalView& view,
+                  const CrossCheckTolerance& tol) {
+  const Bytes slack = tol.slack_for(view.sent_estimate);
+  return operator_claim > view.sent_estimate + slack;
+}
+
+class HonestEdge final : public Strategy {
+ public:
+  explicit HonestEdge(CrossCheckTolerance tol) : tol_(tol) {}
+  Bytes claim(const LocalView& view, const ClaimBounds&, int, Rng&)
+      const override {
+    return view.sent_estimate;
+  }
+  bool reject_peer(Bytes peer_claim, const LocalView& view) const override {
+    return edge_rejects(peer_claim, view, tol_);
+  }
+  std::string_view name() const override { return "honest-edge"; }
+
+ private:
+  CrossCheckTolerance tol_;
+};
+
+class HonestOperator final : public Strategy {
+ public:
+  explicit HonestOperator(CrossCheckTolerance tol) : tol_(tol) {}
+  Bytes claim(const LocalView& view, const ClaimBounds&, int, Rng&)
+      const override {
+    return view.received_estimate;
+  }
+  bool reject_peer(Bytes peer_claim, const LocalView& view) const override {
+    return operator_rejects(peer_claim, view, tol_);
+  }
+  std::string_view name() const override { return "honest-operator"; }
+
+ private:
+  CrossCheckTolerance tol_;
+};
+
+class OptimalEdge final : public Strategy {
+ public:
+  explicit OptimalEdge(CrossCheckTolerance tol) : tol_(tol) {}
+  Bytes claim(const LocalView& view, const ClaimBounds& bounds, int round,
+              Rng&) const override {
+    // Minimax (Theorem 3): the edge's worst case is minimized by claiming
+    // its best estimate of the received volume x̂_o.
+    const Bytes base = std::min(view.received_estimate, view.sent_estimate);
+    if (round <= 1) return base;
+    // A rejection happened: Algorithm 1 re-claims inside the tightened
+    // window. Concede toward the midpoint (never above what we sent) so
+    // the window halves every round and the negotiation terminates even
+    // against a peer with inflated records.
+    const Bytes mid = bounds.lower + Bytes{(bounds.upper - bounds.lower)
+                                               .count() /
+                                           2};
+    return std::min(std::max(base, mid), view.sent_estimate);
+  }
+  bool reject_peer(Bytes peer_claim, const LocalView& view) const override {
+    return edge_rejects(peer_claim, view, tol_);
+  }
+  std::string_view name() const override { return "optimal-edge"; }
+
+ private:
+  CrossCheckTolerance tol_;
+};
+
+class OptimalOperator final : public Strategy {
+ public:
+  explicit OptimalOperator(CrossCheckTolerance tol) : tol_(tol) {}
+  Bytes claim(const LocalView& view, const ClaimBounds& bounds, int round,
+              Rng&) const override {
+    // Maximin: claim the estimate of the sent volume x̂_e.
+    const Bytes base = std::max(view.sent_estimate, view.received_estimate);
+    if (round <= 1) return base;
+    // Concede downward toward the midpoint after a rejection (but never
+    // below the volume we know was received).
+    const Bytes mid = bounds.lower + Bytes{(bounds.upper - bounds.lower)
+                                               .count() /
+                                           2};
+    return std::max(std::min(base, mid), view.received_estimate);
+  }
+  bool reject_peer(Bytes peer_claim, const LocalView& view) const override {
+    return operator_rejects(peer_claim, view, tol_);
+  }
+  std::string_view name() const override { return "optimal-operator"; }
+
+ private:
+  CrossCheckTolerance tol_;
+};
+
+class RandomEdge final : public Strategy {
+ public:
+  RandomEdge(double spread, CrossCheckTolerance tol)
+      : spread_(spread), tol_(tol) {}
+  Bytes claim(const LocalView& view, const ClaimBounds& bounds, int,
+              Rng& rng) const override {
+    // Under-claim: uniform below x̂_e. The draw range starts at
+    // x̂_e·(1−spread) and shrinks as rejections raise the lower bound
+    // (Algorithm 1, line 12), which is what makes the naive selfish
+    // process converge in a handful of rounds (Fig. 16b).
+    const double hi = view.sent_estimate.as_double();
+    const double floor = std::max(hi * (1.0 - spread_),
+                                  bounds.lower.as_double());
+    const double lo = std::min(floor, hi);
+    const Bytes draw{static_cast<std::uint64_t>(rng.uniform(lo, hi))};
+    return bounds.clamp(draw);
+  }
+  bool reject_peer(Bytes peer_claim, const LocalView& view) const override {
+    return edge_rejects(peer_claim, view, tol_);
+  }
+  std::string_view name() const override { return "random-edge"; }
+
+ private:
+  double spread_;
+  CrossCheckTolerance tol_;
+};
+
+class RandomOperator final : public Strategy {
+ public:
+  RandomOperator(double spread, CrossCheckTolerance tol)
+      : spread_(spread), tol_(tol) {}
+  Bytes claim(const LocalView& view, const ClaimBounds& bounds, int,
+              Rng& rng) const override {
+    // Over-claim: uniform above x̂_o, shrinking from above as rejections
+    // lower the upper bound.
+    const double lo = view.received_estimate.as_double();
+    double ceil = lo * (1.0 + spread_);
+    if (bounds.upper.as_double() < ceil) ceil = bounds.upper.as_double();
+    const double hi = std::max(ceil, lo);
+    const Bytes draw{static_cast<std::uint64_t>(rng.uniform(lo, hi))};
+    return bounds.clamp(draw);
+  }
+  bool reject_peer(Bytes peer_claim, const LocalView& view) const override {
+    return operator_rejects(peer_claim, view, tol_);
+  }
+  std::string_view name() const override { return "random-operator"; }
+
+ private:
+  double spread_;
+  CrossCheckTolerance tol_;
+};
+
+class Stubborn final : public Strategy {
+ public:
+  Stubborn(Bytes fixed, CrossCheckTolerance tol) : fixed_(fixed), tol_(tol) {}
+  Bytes claim(const LocalView&, const ClaimBounds&, int, Rng&) const override {
+    return fixed_;
+  }
+  bool reject_peer(Bytes, const LocalView&) const override { return false; }
+  bool obeys_bounds() const override { return false; }
+  std::string_view name() const override { return "stubborn"; }
+
+ private:
+  Bytes fixed_;
+  CrossCheckTolerance tol_;
+};
+
+}  // namespace
+
+StrategyPtr make_honest_edge(CrossCheckTolerance tol) {
+  return std::make_unique<HonestEdge>(tol);
+}
+StrategyPtr make_honest_operator(CrossCheckTolerance tol) {
+  return std::make_unique<HonestOperator>(tol);
+}
+StrategyPtr make_optimal_edge(CrossCheckTolerance tol) {
+  return std::make_unique<OptimalEdge>(tol);
+}
+StrategyPtr make_optimal_operator(CrossCheckTolerance tol) {
+  return std::make_unique<OptimalOperator>(tol);
+}
+StrategyPtr make_random_edge(double spread, CrossCheckTolerance tol) {
+  return std::make_unique<RandomEdge>(spread, tol);
+}
+StrategyPtr make_random_operator(double spread, CrossCheckTolerance tol) {
+  return std::make_unique<RandomOperator>(spread, tol);
+}
+StrategyPtr make_stubborn(Bytes fixed_claim, CrossCheckTolerance tol) {
+  return std::make_unique<Stubborn>(fixed_claim, tol);
+}
+
+}  // namespace tlc::core

@@ -1,0 +1,78 @@
+// Negotiation strategies (§5.1–§5.2).
+//
+// A strategy decides (a) the volume a party claims each round and (b)
+// whether to reject the peer's claim against the party's local records —
+// the cross-check that enforces Theorem 2's charging bound.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "tlc/types.hpp"
+
+namespace tlc::core {
+
+/// Tolerance applied to cross-checks so that honest measurement noise
+/// (clock misalignment, RRC attribution — Fig. 18 reports ~2% average and
+/// 7.7% p95 record error) does not trigger spurious rejections and extra
+/// rounds. 3% covers the bulk of that error mass; the occasional outlier
+/// costs one extra negotiation round, not a failure.
+struct CrossCheckTolerance {
+  double relative = 0.03;  // 3 %
+  Bytes absolute{5'000};   // floor for tiny (e.g. gaming) volumes
+
+  [[nodiscard]] Bytes slack_for(Bytes reference) const {
+    const auto rel = static_cast<std::uint64_t>(reference.as_double() * relative);
+    return Bytes{std::max<std::uint64_t>(rel, absolute.count())};
+  }
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  /// The claim for this round, before the engine clamps it to `bounds`.
+  [[nodiscard]] virtual Bytes claim(const LocalView& view,
+                                    const ClaimBounds& bounds, int round,
+                                    Rng& rng) const = 0;
+
+  /// Cross-check of the peer's claim against local records; returning true
+  /// rejects this round (Algorithm 1, line 5).
+  [[nodiscard]] virtual bool reject_peer(Bytes peer_claim,
+                                         const LocalView& view) const = 0;
+
+  /// Whether claims outside the negotiated bounds should be honoured
+  /// (only deliberately misbehaving strategies override the clamp).
+  [[nodiscard]] virtual bool obeys_bounds() const { return true; }
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+using StrategyPtr = std::unique_ptr<Strategy>;
+
+/// Honest (§5.1): edge claims exactly what it sent; never rejects unless
+/// the peer's claim exceeds the sent volume it can prove.
+[[nodiscard]] StrategyPtr make_honest_edge(CrossCheckTolerance tol = {});
+/// Honest operator: claims exactly what it received.
+[[nodiscard]] StrategyPtr make_honest_operator(CrossCheckTolerance tol = {});
+
+/// Rational minimax edge (Theorem 3/4): claims its estimate of x̂_o.
+[[nodiscard]] StrategyPtr make_optimal_edge(CrossCheckTolerance tol = {});
+/// Rational maximin operator: claims its estimate of x̂_e.
+[[nodiscard]] StrategyPtr make_optimal_operator(CrossCheckTolerance tol = {});
+
+/// Selfish-but-naive (the paper's TLC-random): each round draws a claim
+/// uniformly below x̂_e (edge) / above x̂_o (operator), within `spread` of
+/// the truthful value.
+[[nodiscard]] StrategyPtr make_random_edge(double spread = 0.3,
+                                           CrossCheckTolerance tol = {});
+[[nodiscard]] StrategyPtr make_random_operator(double spread = 0.3,
+                                               CrossCheckTolerance tol = {});
+
+/// Misbehaving: insists on a fixed claim and ignores bounds. Used to test
+/// that the protocol detects and never profits such behaviour (§5.1).
+[[nodiscard]] StrategyPtr make_stubborn(Bytes fixed_claim,
+                                        CrossCheckTolerance tol = {});
+
+}  // namespace tlc::core

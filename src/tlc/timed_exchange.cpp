@@ -1,0 +1,61 @@
+#include "tlc/timed_exchange.hpp"
+
+namespace tlc::core {
+namespace {
+
+struct Exchange {
+  sim::Scheduler& sched;
+  ProtocolParty& initiator;
+  ProtocolParty& responder;
+  TimedExchangeConfig config;
+  TimedExchangeResult result;
+  TimePoint started;
+
+  Duration crypto_for(const ProtocolParty& party) const {
+    return &party == &initiator ? config.initiator_crypto
+                                : config.responder_crypto;
+  }
+
+  /// `sender` produced `msg`; deliver it to the other side after the
+  /// sender's processing time plus the propagation latency.
+  void dispatch(ProtocolParty& sender, Message msg) {
+    ++result.messages;
+    result.crypto_time += crypto_for(sender);
+    result.network_time += config.one_way_latency;
+    ProtocolParty& receiver =
+        &sender == &initiator ? responder : initiator;
+    sched.schedule_after(
+        crypto_for(sender) + config.one_way_latency,
+        [this, &receiver, m = std::move(msg)] {
+          // Receiver-side verification/decision time.
+          result.crypto_time += crypto_for(receiver);
+          sched.schedule_after(crypto_for(receiver), [this, &receiver, m] {
+            std::optional<Message> reply = receiver.on_message(m);
+            if (reply.has_value()) {
+              dispatch(receiver, std::move(*reply));
+            }
+          });
+        });
+  }
+};
+
+}  // namespace
+
+TimedExchangeResult run_timed_exchange(sim::Scheduler& sched,
+                                       ProtocolParty& initiator,
+                                       ProtocolParty& responder,
+                                       const TimedExchangeConfig& config) {
+  Exchange exchange{sched, initiator, responder, config, {}, sched.now()};
+  exchange.dispatch(initiator, initiator.start());
+  sched.run();
+
+  TimedExchangeResult result = exchange.result;
+  result.completed = initiator.state() == ProtocolState::kDone &&
+                     responder.state() == ProtocolState::kDone;
+  result.elapsed = sched.now() - exchange.started;
+  result.rounds = initiator.rounds();
+  result.charged = initiator.charged();
+  return result;
+}
+
+}  // namespace tlc::core

@@ -1,0 +1,135 @@
+#include "tlc/verifier.hpp"
+
+#include "charging/usage.hpp"
+#include "wire/codec.hpp"
+
+namespace tlc::core {
+
+const char* to_string(VerifyResult r) {
+  switch (r) {
+    case VerifyResult::kOk:
+      return "ok";
+    case VerifyResult::kMalformed:
+      return "malformed";
+    case VerifyResult::kBadPocSignature:
+      return "bad-poc-signature";
+    case VerifyResult::kBadCdaSignature:
+      return "bad-cda-signature";
+    case VerifyResult::kBadCdrSignature:
+      return "bad-cdr-signature";
+    case VerifyResult::kRoleConfusion:
+      return "role-confusion";
+    case VerifyResult::kPlanMismatch:
+      return "plan-mismatch";
+    case VerifyResult::kRoundMismatch:
+      return "round-mismatch";
+    case VerifyResult::kNonceMismatch:
+      return "nonce-mismatch";
+    case VerifyResult::kReplayed:
+      return "replayed";
+    case VerifyResult::kChargeMismatch:
+      return "charge-mismatch";
+  }
+  return "?";
+}
+
+PublicVerifier::PublicVerifier(crypto::PublicKey edge_key,
+                               crypto::PublicKey operator_key,
+                               charging::DataPlan plan)
+    : edge_key_(std::move(edge_key)),
+      operator_key_(std::move(operator_key)),
+      plan_(plan) {
+  plan_.validate();
+}
+
+VerifyResult PublicVerifier::verify(std::span<const std::uint8_t> poc_bytes,
+                                    VerifiedCharge* out) {
+  const auto reject = [this](VerifyResult r) {
+    ++rejected_;
+    return r;
+  };
+
+  PocMsg poc;
+  CdaMsg cda;
+  CdrMsg cdr;
+  try {
+    poc = PocMsg::decode(poc_bytes);
+    cda = CdaMsg::decode(poc.peer_cda);
+    cdr = CdrMsg::decode(cda.peer_cdr);
+  } catch (const wire::DecodeError&) {
+    return reject(VerifyResult::kMalformed);
+  }
+
+  // Roles must alternate: PoC signer ↔ CDA signer ↔ CDR signer.
+  if (cda.sender != peer_of(poc.sender) || cdr.sender != poc.sender) {
+    return reject(VerifyResult::kRoleConfusion);
+  }
+
+  const auto key_for = [this](PartyRole role) -> const crypto::PublicKey& {
+    return role == PartyRole::kEdgeVendor ? edge_key_ : operator_key_;
+  };
+  if (!poc.verify(key_for(poc.sender))) {
+    return reject(VerifyResult::kBadPocSignature);
+  }
+  if (!cda.verify(key_for(cda.sender))) {
+    return reject(VerifyResult::kBadCdaSignature);
+  }
+  if (!cdr.verify(key_for(cdr.sender))) {
+    return reject(VerifyResult::kBadCdrSignature);
+  }
+
+  // Algorithm 2, line 2: consistent data plan everywhere.
+  if (!(poc.plan == cda.plan) || !(poc.plan == cdr.plan)) {
+    return reject(VerifyResult::kPlanMismatch);
+  }
+  if (poc.plan.loss_weight != plan_.loss_weight ||
+      poc.plan.cycle_length_ns !=
+          static_cast<std::uint64_t>(plan_.cycle_length.count())) {
+    return reject(VerifyResult::kPlanMismatch);
+  }
+
+  // Same negotiation round in all layers.
+  if (poc.round != cda.round || poc.round != cdr.round) {
+    return reject(VerifyResult::kRoundMismatch);
+  }
+
+  // Algorithm 2, line 5: the trailing nonces must match the embedded
+  // messages, keyed by role.
+  const Nonce& edge_nonce =
+      cdr.sender == PartyRole::kEdgeVendor ? cdr.nonce : cda.nonce;
+  const Nonce& operator_nonce =
+      cdr.sender == PartyRole::kCellularOperator ? cdr.nonce : cda.nonce;
+  if (poc.nonce_edge != edge_nonce || poc.nonce_operator != operator_nonce) {
+    return reject(VerifyResult::kNonceMismatch);
+  }
+
+  // Replay defence across verification requests.
+  const auto key = std::make_tuple(poc.plan.cycle_index, poc.nonce_edge,
+                                   poc.nonce_operator);
+  if (seen_.contains(key)) {
+    return reject(VerifyResult::kReplayed);
+  }
+
+  // Algorithm 2, line 8: recompute the charge from the two claims.
+  const Bytes expected =
+      charging::charged_volume(cdr.claim, cda.claim, poc.plan.loss_weight);
+  if (expected != poc.charged) {
+    return reject(VerifyResult::kChargeMismatch);
+  }
+
+  seen_.insert(key);
+  ++accepted_;
+  if (out != nullptr) {
+    out->charged = poc.charged;
+    out->edge_claim =
+        cdr.sender == PartyRole::kEdgeVendor ? cdr.claim : cda.claim;
+    out->operator_claim =
+        cdr.sender == PartyRole::kCellularOperator ? cdr.claim : cda.claim;
+    out->cycle_index = poc.plan.cycle_index;
+    out->loss_weight = poc.plan.loss_weight;
+    out->round = static_cast<int>(poc.round);
+  }
+  return VerifyResult::kOk;
+}
+
+}  // namespace tlc::core

@@ -1,0 +1,74 @@
+// Public verification of Proofs-of-Charging (§5.3.3, Algorithm 2).
+//
+// An independent third party (FCC, court, MVNO — §5.3.4) is given the data
+// plan, both parties' public keys, and a PoC. Verification checks, without
+// seeing any of the actual traffic:
+//   1. the outer signature, the embedded CDA's signature, and the embedded
+//      CDR's signature, with roles alternating correctly (both parties
+//      signed the final claims);
+//   2. the plan echo (T, c) matches the agreed plan in all three layers;
+//   3. the embedded messages belong to the same negotiation round and the
+//      PoC's trailing nonces match the embedded messages (replay defence);
+//   4. the charged volume x equals the recomputation from the two claims.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <span>
+
+#include "charging/data_plan.hpp"
+#include "tlc/messages.hpp"
+
+namespace tlc::core {
+
+enum class VerifyResult : std::uint8_t {
+  kOk = 0,
+  kMalformed,
+  kBadPocSignature,
+  kBadCdaSignature,
+  kBadCdrSignature,
+  kRoleConfusion,
+  kPlanMismatch,
+  kRoundMismatch,
+  kNonceMismatch,
+  kReplayed,
+  kChargeMismatch,
+};
+
+[[nodiscard]] const char* to_string(VerifyResult r);
+
+/// Fields a successful verification extracts for the auditor.
+struct VerifiedCharge {
+  Bytes charged;          // x
+  Bytes edge_claim;       // x_e
+  Bytes operator_claim;   // x_o
+  std::uint64_t cycle_index = 0;
+  double loss_weight = 0.5;
+  int round = 0;
+};
+
+class PublicVerifier {
+ public:
+  PublicVerifier(crypto::PublicKey edge_key, crypto::PublicKey operator_key,
+                 charging::DataPlan plan);
+
+  /// Algorithm 2. On success, `out` (if non-null) receives the audited
+  /// values. Replays of an already-verified PoC return kReplayed.
+  VerifyResult verify(std::span<const std::uint8_t> poc_bytes,
+                      VerifiedCharge* out = nullptr);
+
+  /// Number of PoCs successfully verified so far.
+  [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  crypto::PublicKey edge_key_;
+  crypto::PublicKey operator_key_;
+  charging::DataPlan plan_;
+  /// (cycle index, edge nonce, operator nonce) triples already accepted.
+  std::set<std::tuple<std::uint64_t, Nonce, Nonce>> seen_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace tlc::core

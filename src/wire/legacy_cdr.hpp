@@ -1,0 +1,45 @@
+// Legacy 4G LTE charging data record (CDR).
+//
+// Models the per-cycle usage record a 4G gateway emits (Trace 1 in the
+// paper). Two encodings are provided:
+//   * a compact 34-byte binary form — the paper's Fig. 17 size baseline
+//     ("LTE CDR: 34 bytes");
+//   * the human-readable XML form shown in Trace 1, for logs and examples.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/hex.hpp"
+#include "common/units.hpp"
+
+namespace tlc::wire {
+
+struct LegacyCdr {
+  /// IMSI as packed BCD, 8 bytes (e.g. "00 01 11 32 54 76 48 F5").
+  std::array<std::uint8_t, 8> served_imsi{};
+  std::uint32_t gateway_address = 0;  // IPv4, host order
+  std::uint32_t charging_id = 0;
+  std::uint32_t sequence_number = 0;
+  /// Unix seconds of first/last usage within the cycle.
+  std::uint32_t time_of_first_usage = 0;
+  std::uint32_t time_of_last_usage = 0;
+  Bytes uplink_volume;
+  Bytes downlink_volume;
+
+  friend bool operator==(const LegacyCdr&, const LegacyCdr&) = default;
+};
+
+/// Fixed binary size: 8 (IMSI) + 4 (gw) + 4 (id) + 4 (seq) + 4+4 (times)
+/// + 3+3 (24-bit volumes, as 3GPP TS 32.298 uses variable-length volumes;
+/// 24 bits cover a 16 MB granularity chunking scheme) = 34 bytes.
+inline constexpr std::size_t kLegacyCdrSize = 34;
+
+[[nodiscard]] ByteVec encode_legacy_cdr(const LegacyCdr& cdr);
+[[nodiscard]] LegacyCdr decode_legacy_cdr(std::span<const std::uint8_t> data);
+
+/// Renders the XML representation from Trace 1 of the paper.
+[[nodiscard]] std::string legacy_cdr_to_xml(const LegacyCdr& cdr);
+
+}  // namespace tlc::wire

@@ -1,0 +1,38 @@
+#include "workloads/background.hpp"
+
+#include <stdexcept>
+
+namespace tlc::workloads {
+
+CbrSource::CbrSource(sim::Scheduler& sched, CbrConfig config, EmitFn emit)
+    : sched_(sched), config_(config), emit_(std::move(emit)) {
+  if (config_.rate.is_zero()) {
+    throw std::invalid_argument{"CbrConfig: rate must be positive"};
+  }
+  gap_ = config_.rate.transmission_time(config_.packet_size);
+}
+
+void CbrSource::start(TimePoint until) {
+  if (started_) throw std::logic_error{"CbrSource started twice"};
+  started_ = true;
+  until_ = until;
+  sched_.schedule_after(Duration::zero(), [this] { emit_packet(); });
+}
+
+void CbrSource::emit_packet() {
+  const TimePoint now = sched_.now();
+  if (now >= until_) return;
+  net::Packet p;
+  p.id = ++packet_id_;
+  p.flow = config_.flow;
+  p.size = config_.packet_size;
+  p.qci = config_.qci;
+  p.direction = config_.direction;
+  p.created = now;
+  ++packets_;
+  bytes_ += p.size;
+  emit_(std::move(p));
+  sched_.schedule_after(gap_, [this] { emit_packet(); });
+}
+
+}  // namespace tlc::workloads

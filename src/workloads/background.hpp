@@ -1,0 +1,47 @@
+// iperf-style constant-bit-rate UDP background traffic.
+//
+// The evaluation normally models background load analytically (the cell
+// link's residual-capacity parameter) for speed; this packet-level source
+// exists for validation tests, examples, and small-scale runs where the
+// background must actually contend in the queue.
+#pragma once
+
+#include "common/rng.hpp"
+#include "workloads/source.hpp"
+
+namespace tlc::workloads {
+
+struct CbrConfig {
+  BitRate rate = BitRate::from_mbps(100.0);
+  Bytes packet_size{1400};
+  charging::Direction direction = charging::Direction::kDownlink;
+  net::Qci qci = net::Qci::kQci9;
+  net::FlowId flow = 99;
+};
+
+class CbrSource final : public TrafficSource {
+ public:
+  CbrSource(sim::Scheduler& sched, CbrConfig config, EmitFn emit);
+
+  void start(TimePoint until) override;
+  [[nodiscard]] std::string_view name() const override { return "cbr"; }
+  [[nodiscard]] std::uint64_t packets_emitted() const override {
+    return packets_;
+  }
+  [[nodiscard]] Bytes bytes_emitted() const override { return bytes_; }
+
+ private:
+  void emit_packet();
+
+  sim::Scheduler& sched_;
+  CbrConfig config_;
+  EmitFn emit_;
+  TimePoint until_ = kTimeZero;
+  Duration gap_ = Duration::zero();
+  std::uint64_t packet_id_ = 0;
+  std::uint64_t packets_ = 0;
+  Bytes bytes_;
+  bool started_ = false;
+};
+
+}  // namespace tlc::workloads

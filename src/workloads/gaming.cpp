@@ -1,0 +1,49 @@
+#include "workloads/gaming.hpp"
+
+#include <stdexcept>
+
+namespace tlc::workloads {
+
+GamingConfig GamingConfig::king_of_glory() {
+  return GamingConfig{};  // defaults model the paper's trace: ~0.02 Mbps DL
+}
+
+GamingSource::GamingSource(sim::Scheduler& sched, GamingConfig config,
+                           Rng rng, EmitFn emit)
+    : sched_(sched), config_(config), rng_(rng), emit_(std::move(emit)) {
+  if (config_.tick <= Duration::zero()) {
+    throw std::invalid_argument{"GamingConfig: tick must be positive"};
+  }
+}
+
+void GamingSource::start(TimePoint until) {
+  if (started_) throw std::logic_error{"GamingSource started twice"};
+  started_ = true;
+  until_ = until;
+  sched_.schedule_after(Duration::zero(), [this] { tick(); });
+}
+
+void GamingSource::tick() {
+  const TimePoint now = sched_.now();
+  if (now >= until_) return;
+
+  const int count =
+      rng_.chance(config_.burst_probability) ? config_.burst_packets : 1;
+  for (int i = 0; i < count; ++i) {
+    net::Packet p;
+    p.id = ++packet_id_;
+    p.flow = config_.flow;
+    // State updates vary a little with entity count.
+    p.size = Bytes{config_.base_packet.count() + rng_.uniform_int(0, 40)};
+    p.qci = config_.qci;
+    p.direction = config_.direction;
+    p.created = now;
+    p.app_seq = ++seq_;
+    ++packets_;
+    bytes_ += p.size;
+    emit_(std::move(p));
+  }
+  sched_.schedule_after(config_.tick, [this] { tick(); });
+}
+
+}  // namespace tlc::workloads

@@ -1,0 +1,52 @@
+// Online-gaming traffic model (King of Glory player-control stream, §7.1).
+//
+// Small UDP datagrams on a fixed tick, with occasional action bursts —
+// ~0.02 Mbps average on the downlink, carried on a QCI 7 bearer when the
+// Tencent-style acceleration is active.
+#pragma once
+
+#include "common/rng.hpp"
+#include "workloads/source.hpp"
+
+namespace tlc::workloads {
+
+struct GamingConfig {
+  Duration tick = std::chrono::milliseconds{33};  // ~30 updates/s
+  Bytes base_packet{70};
+  double burst_probability = 0.05;  // team-fight style bursts
+  int burst_packets = 6;
+  charging::Direction direction = charging::Direction::kDownlink;
+  net::Qci qci = net::Qci::kQci7;  // accelerated session
+  net::FlowId flow = 20;
+
+  [[nodiscard]] static GamingConfig king_of_glory();
+};
+
+class GamingSource final : public TrafficSource {
+ public:
+  GamingSource(sim::Scheduler& sched, GamingConfig config, Rng rng,
+               EmitFn emit);
+
+  void start(TimePoint until) override;
+  [[nodiscard]] std::string_view name() const override { return "gaming"; }
+  [[nodiscard]] std::uint64_t packets_emitted() const override {
+    return packets_;
+  }
+  [[nodiscard]] Bytes bytes_emitted() const override { return bytes_; }
+
+ private:
+  void tick();
+
+  sim::Scheduler& sched_;
+  GamingConfig config_;
+  Rng rng_;
+  EmitFn emit_;
+  TimePoint until_ = kTimeZero;
+  std::uint64_t packet_id_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t packets_ = 0;
+  Bytes bytes_;
+  bool started_ = false;
+};
+
+}  // namespace tlc::workloads

@@ -1,0 +1,31 @@
+// Traffic-source interface shared by all workload models.
+#pragma once
+
+#include <functional>
+#include <string_view>
+
+#include "net/packet.hpp"
+#include "sim/scheduler.hpp"
+
+namespace tlc::workloads {
+
+/// Sinks receive fully-formed packets at their emission times.
+using EmitFn = std::function<void(net::Packet)>;
+
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+
+  /// Begins emitting packets from the scheduler's current time until
+  /// `until` (exclusive). May only be called once.
+  virtual void start(TimePoint until) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual std::uint64_t packets_emitted() const = 0;
+  [[nodiscard]] virtual Bytes bytes_emitted() const = 0;
+};
+
+/// Path MTU-sized application fragmentation used by the stream models.
+inline constexpr std::uint64_t kMtuPayload = 1400;
+
+}  // namespace tlc::workloads

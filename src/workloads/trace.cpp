@@ -1,0 +1,168 @@
+#include "workloads/trace.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace tlc::workloads {
+
+Bytes Trace::total_bytes() const {
+  Bytes total;
+  for (const auto& r : records) total += r.size;
+  return total;
+}
+
+Duration Trace::duration() const {
+  return records.empty() ? Duration::zero() : records.back().offset;
+}
+
+BitRate Trace::average_rate() const {
+  const double seconds = to_seconds(duration());
+  if (seconds <= 0.0) return BitRate{0};
+  return BitRate{static_cast<std::uint64_t>(
+      total_bytes().as_double() * 8.0 / seconds)};
+}
+
+void save_trace(std::ostream& os, const Trace& trace) {
+  os << "# tlc-trace v1 direction="
+     << charging::to_string(trace.direction)
+     << " qci=" << static_cast<int>(trace.qci) << " flow=" << trace.flow
+     << "\n";
+  for (const auto& r : trace.records) {
+    os << r.offset.count() << ' ' << r.size.count() << '\n';
+  }
+}
+
+Trace load_trace(std::istream& is) {
+  Trace trace;
+  std::string line;
+  bool header_seen = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line.front() == '#') {
+      header_seen = true;
+      if (line.find("direction=downlink") != std::string::npos) {
+        trace.direction = charging::Direction::kDownlink;
+      } else if (line.find("direction=uplink") != std::string::npos) {
+        trace.direction = charging::Direction::kUplink;
+      }
+      continue;
+    }
+    std::int64_t offset_ns = 0;
+    std::uint64_t size = 0;
+    if (std::sscanf(line.c_str(), "%ld %lu", &offset_ns, &size) != 2) {
+      throw std::invalid_argument{"load_trace: malformed line: " + line};
+    }
+    trace.records.push_back(TraceRecord{Duration{offset_ns}, Bytes{size}});
+  }
+  if (!header_seen && trace.records.empty()) {
+    throw std::invalid_argument{"load_trace: empty input"};
+  }
+  return trace;
+}
+
+EmitFn TraceRecorder::tap(EmitFn downstream) {
+  return [this, downstream = std::move(downstream)](net::Packet p) {
+    trace_.records.push_back(TraceRecord{p.created - epoch_, p.size});
+    if (downstream) downstream(std::move(p));
+  };
+}
+
+TraceReplaySource::TraceReplaySource(sim::Scheduler& sched, Trace trace,
+                                     EmitFn emit, bool loop)
+    : sched_(sched), trace_(std::move(trace)), emit_(std::move(emit)),
+      loop_(loop) {
+  if (trace_.records.empty()) {
+    throw std::invalid_argument{"TraceReplaySource: empty trace"};
+  }
+  if (!std::is_sorted(trace_.records.begin(), trace_.records.end(),
+                      [](const TraceRecord& a, const TraceRecord& b) {
+                        return a.offset < b.offset;
+                      })) {
+    throw std::invalid_argument{"TraceReplaySource: trace not time-ordered"};
+  }
+}
+
+void TraceReplaySource::start(TimePoint until) {
+  if (started_) throw std::logic_error{"TraceReplaySource started twice"};
+  started_ = true;
+  until_ = until;
+  pass_start_ = sched_.now();
+  sched_.schedule_at(pass_start_ + trace_.records.front().offset,
+                     [this] { emit_next(); });
+}
+
+void TraceReplaySource::emit_next() {
+  const TimePoint now = sched_.now();
+  if (now >= until_) return;
+
+  const TraceRecord& rec = trace_.records[index_];
+  net::Packet p;
+  p.id = ++packet_id_;
+  p.flow = trace_.flow;
+  p.size = rec.size;
+  p.qci = trace_.qci;
+  p.direction = trace_.direction;
+  p.created = now;
+  p.app_seq = index_;
+  ++packets_;
+  bytes_ += p.size;
+  emit_(std::move(p));
+
+  ++index_;
+  if (index_ >= trace_.records.size()) {
+    if (!loop_) return;
+    index_ = 0;
+    // Restart the pass one inter-record gap after the last record.
+    pass_start_ = now + std::chrono::milliseconds{10};
+  }
+  const TimePoint next = pass_start_ + trace_.records[index_].offset;
+  sched_.schedule_at(std::max(next, now + Duration{1}),
+                     [this] { emit_next(); });
+}
+
+Trace make_vridge_trace(Rng rng, Duration duration) {
+  // 60 FPS graphical frames, ~9 Mbps, fragmented to the MTU — the profile
+  // of the VRidge/Portal-2 GVSP capture the paper replays.
+  Trace trace;
+  trace.direction = charging::Direction::kDownlink;
+  trace.flow = 31;
+  const double fps = 60.0;
+  const double mean_frame = 9.0e6 / 8.0 / fps;
+  Duration t = Duration::zero();
+  while (t < duration) {
+    const double scale = std::clamp(rng.normal(1.0, 0.25), 0.4, 2.2);
+    auto remaining = static_cast<std::uint64_t>(mean_frame * scale);
+    Duration intra = Duration::zero();
+    while (remaining > 0) {
+      const std::uint64_t chunk = std::min(remaining, kMtuPayload);
+      trace.records.push_back(TraceRecord{t + intra, Bytes{chunk}});
+      remaining -= chunk;
+      intra += std::chrono::microseconds{40};  // back-to-back GVSP bursts
+    }
+    t += from_seconds(1.0 / fps);
+  }
+  return trace;
+}
+
+Trace make_gaming_trace(Rng rng, Duration duration) {
+  // ~30 ticks/s of ~70–110 B state updates with occasional bursts
+  // (~0.02 Mbps), like the King of Glory capture.
+  Trace trace;
+  trace.direction = charging::Direction::kDownlink;
+  trace.qci = net::Qci::kQci7;
+  trace.flow = 32;
+  Duration t = Duration::zero();
+  while (t < duration) {
+    const int count = rng.chance(0.05) ? 6 : 1;
+    for (int i = 0; i < count; ++i) {
+      trace.records.push_back(
+          TraceRecord{t, Bytes{70 + rng.uniform_int(0, 40)}});
+    }
+    t += std::chrono::milliseconds{33};
+  }
+  return trace;
+}
+
+}  // namespace tlc::workloads

@@ -1,0 +1,86 @@
+// Packet-trace capture and replay.
+//
+// The paper replays tcpdump traces (VRidge/Portal 2 from [28], a 1-hour
+// King of Glory capture) with tcpreplay. We reproduce the methodology: a
+// TraceRecorder captures (offset, size) pairs from any source, traces can
+// be saved/loaded in a simple text format, and TraceReplaySource re-emits
+// them with original timing. Synthetic generator functions stand in for
+// the proprietary captures (DESIGN.md, substitution table).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workloads/source.hpp"
+
+namespace tlc::workloads {
+
+struct TraceRecord {
+  Duration offset = Duration::zero();  // from trace start
+  Bytes size;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+struct Trace {
+  std::vector<TraceRecord> records;
+  charging::Direction direction = charging::Direction::kDownlink;
+  net::Qci qci = net::Qci::kQci9;
+  net::FlowId flow = 30;
+
+  [[nodiscard]] Bytes total_bytes() const;
+  [[nodiscard]] Duration duration() const;
+  [[nodiscard]] BitRate average_rate() const;
+};
+
+/// Text round-trip: one "offset_ns size_bytes" pair per line.
+void save_trace(std::ostream& os, const Trace& trace);
+[[nodiscard]] Trace load_trace(std::istream& is);
+
+/// Captures packets (from any EmitFn producer) into a Trace.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(TimePoint epoch) : epoch_(epoch) {}
+
+  [[nodiscard]] EmitFn tap(EmitFn downstream);
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+
+ private:
+  TimePoint epoch_;
+  Trace trace_;
+};
+
+class TraceReplaySource final : public TrafficSource {
+ public:
+  TraceReplaySource(sim::Scheduler& sched, Trace trace, EmitFn emit,
+                    bool loop = true);
+
+  void start(TimePoint until) override;
+  [[nodiscard]] std::string_view name() const override { return "replay"; }
+  [[nodiscard]] std::uint64_t packets_emitted() const override {
+    return packets_;
+  }
+  [[nodiscard]] Bytes bytes_emitted() const override { return bytes_; }
+
+ private:
+  void emit_next();
+
+  sim::Scheduler& sched_;
+  Trace trace_;
+  EmitFn emit_;
+  bool loop_;
+  TimePoint until_ = kTimeZero;
+  TimePoint pass_start_ = kTimeZero;
+  std::size_t index_ = 0;
+  std::uint64_t packet_id_ = 0;
+  std::uint64_t packets_ = 0;
+  Bytes bytes_;
+  bool started_ = false;
+};
+
+/// Synthetic stand-ins for the paper's proprietary captures.
+[[nodiscard]] Trace make_vridge_trace(Rng rng, Duration duration);
+[[nodiscard]] Trace make_gaming_trace(Rng rng, Duration duration);
+
+}  // namespace tlc::workloads

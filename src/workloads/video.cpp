@@ -1,0 +1,116 @@
+#include "workloads/video.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tlc::workloads {
+
+VideoStreamConfig VideoStreamConfig::webcam_rtsp() {
+  VideoStreamConfig c;
+  c.average_bitrate = BitRate::from_mbps(0.77);
+  c.fps = 30.0;
+  c.gop_length = 30;
+  c.iframe_scale = 4.0;
+  c.direction = charging::Direction::kUplink;
+  c.flow = 10;
+  return c;
+}
+
+VideoStreamConfig VideoStreamConfig::webcam_udp() {
+  VideoStreamConfig c;
+  c.average_bitrate = BitRate::from_mbps(1.73);
+  c.fps = 30.0;
+  c.gop_length = 30;
+  c.iframe_scale = 4.0;
+  c.direction = charging::Direction::kUplink;
+  c.flow = 11;
+  return c;
+}
+
+VideoStreamConfig VideoStreamConfig::vridge_gvsp() {
+  VideoStreamConfig c;
+  c.average_bitrate = BitRate::from_mbps(9.0);
+  c.fps = 60.0;
+  c.gop_length = 60;
+  c.iframe_scale = 3.0;
+  c.frame_jitter = 0.25;  // graphical frames vary more than camera frames
+  c.direction = charging::Direction::kDownlink;
+  c.flow = 12;
+  return c;
+}
+
+VideoStreamSource::VideoStreamSource(sim::Scheduler& sched,
+                                     VideoStreamConfig config, Rng rng,
+                                     EmitFn emit)
+    : sched_(sched), config_(config), rng_(rng), emit_(std::move(emit)) {
+  if (config_.fps <= 0.0 || config_.gop_length <= 0) {
+    throw std::invalid_argument{"VideoStreamConfig: fps/gop must be positive"};
+  }
+  // Solve mean P-frame size so the long-run average matches the bitrate:
+  // per GoP: 1 I-frame (scale·p) + (gop−1) P-frames = bitrate·gop/fps/8.
+  const double gop = static_cast<double>(config_.gop_length);
+  const double bytes_per_gop =
+      static_cast<double>(config_.average_bitrate.bps()) / 8.0 * gop /
+      config_.fps;
+  p_frame_bytes_ = bytes_per_gop / (config_.iframe_scale + gop - 1.0);
+}
+
+void VideoStreamSource::start(TimePoint until) {
+  if (started_) throw std::logic_error{"VideoStreamSource started twice"};
+  started_ = true;
+  until_ = until;
+  sched_.schedule_after(Duration::zero(), [this] { emit_frame(); });
+}
+
+void VideoStreamSource::emit_frame() {
+  const TimePoint now = sched_.now();
+  if (now >= until_) return;
+
+  const bool is_iframe =
+      frame_index_ % static_cast<std::uint64_t>(config_.gop_length) == 0;
+  double frame_bytes =
+      p_frame_bytes_ * rate_fraction_ * (is_iframe ? config_.iframe_scale : 1.0);
+  // Multiplicative jitter, clamped to stay positive and bounded.
+  const double jitter =
+      std::clamp(rng_.normal(1.0, config_.frame_jitter), 0.4, 2.5);
+  frame_bytes *= jitter;
+  const auto total =
+      std::max<std::uint64_t>(64, static_cast<std::uint64_t>(frame_bytes));
+
+  // Fragment into MTU-sized datagrams (GVSP/RTP style).
+  std::uint64_t remaining = total;
+  while (remaining > 0) {
+    const std::uint64_t chunk = std::min(remaining, kMtuPayload);
+    net::Packet p;
+    p.id = ++packet_id_;
+    p.flow = config_.flow;
+    p.size = Bytes{chunk};
+    p.qci = config_.qci;
+    p.direction = config_.direction;
+    p.created = now;
+    p.app_seq = frame_index_;
+    ++packets_;
+    bytes_ += p.size;
+    emit_(std::move(p));
+    remaining -= chunk;
+  }
+  ++frames_;
+  ++frame_index_;
+
+  const Duration frame_gap = from_seconds(1.0 / config_.fps);
+  sched_.schedule_after(frame_gap, [this] { emit_frame(); });
+}
+
+void VideoStreamSource::on_receiver_report(double loss_fraction) {
+  if (!config_.adaptive) return;
+  if (loss_fraction > config_.loss_backoff_threshold) {
+    rate_fraction_ *= config_.backoff_factor;
+  } else {
+    rate_fraction_ *= config_.recovery_factor;
+  }
+  rate_fraction_ =
+      std::clamp(rate_fraction_, config_.min_rate_fraction, 1.0);
+}
+
+}  // namespace tlc::workloads

@@ -1,0 +1,81 @@
+// Frame-structured video/VR stream models.
+//
+// Covers three of the paper's four scenarios with one parameterized model:
+//   * WebCam via RTSP  — 1080p 30 FPS H.264, ~0.77 Mbps, uplink (§7.1)
+//   * WebCam via UDP   — 1080p 30 FPS,        ~1.73 Mbps, uplink
+//   * VRidge via GVSP  — 1080p 60 FPS frames,  ~9.0 Mbps, downlink
+//
+// Each GoP starts with an I-frame several times larger than the following
+// P-frames; frames are fragmented into MTU-sized datagrams. The burstiness
+// (not just the average rate) is what drives queue-overflow loss under
+// congestion, so it matters for reproducing Fig. 3's growth curves.
+#pragma once
+
+#include "common/rng.hpp"
+#include "workloads/source.hpp"
+
+namespace tlc::workloads {
+
+struct VideoStreamConfig {
+  BitRate average_bitrate = BitRate::from_mbps(1.73);
+  double fps = 30.0;
+  int gop_length = 30;           // frames per group-of-pictures
+  double iframe_scale = 4.0;     // I-frame size vs P-frame size
+  double frame_jitter = 0.15;    // lognormal-ish size variation
+  charging::Direction direction = charging::Direction::kUplink;
+  net::Qci qci = net::Qci::kQci9;
+  net::FlowId flow = 1;
+
+  /// RTSP/RTCP-style rate adaptation: when enabled, receiver reports fed
+  /// through on_receiver_report() shrink the encoding rate under loss and
+  /// slowly recover it when the path is clean (why the paper's RTSP
+  /// stream is gentler than raw UDP).
+  bool adaptive = false;
+  double loss_backoff_threshold = 0.02;  // back off above 2% reported loss
+  double backoff_factor = 0.75;          // multiplicative decrease
+  double recovery_factor = 1.05;         // slow multiplicative recovery
+  double min_rate_fraction = 0.25;       // floor vs the nominal bitrate
+
+  [[nodiscard]] static VideoStreamConfig webcam_rtsp();
+  [[nodiscard]] static VideoStreamConfig webcam_udp();
+  [[nodiscard]] static VideoStreamConfig vridge_gvsp();
+};
+
+class VideoStreamSource final : public TrafficSource {
+ public:
+  VideoStreamSource(sim::Scheduler& sched, VideoStreamConfig config, Rng rng,
+                    EmitFn emit);
+
+  void start(TimePoint until) override;
+  [[nodiscard]] std::string_view name() const override { return "video"; }
+  [[nodiscard]] std::uint64_t packets_emitted() const override {
+    return packets_;
+  }
+  [[nodiscard]] Bytes bytes_emitted() const override { return bytes_; }
+  [[nodiscard]] std::uint64_t frames_emitted() const { return frames_; }
+
+  /// RTCP receiver report: observed loss fraction since the last report.
+  /// No-op unless config.adaptive is set.
+  void on_receiver_report(double loss_fraction);
+  /// Current encoding rate as a fraction of the nominal bitrate.
+  [[nodiscard]] double rate_fraction() const { return rate_fraction_; }
+
+ private:
+  void emit_frame();
+
+  sim::Scheduler& sched_;
+  VideoStreamConfig config_;
+  Rng rng_;
+  EmitFn emit_;
+  TimePoint until_ = kTimeZero;
+  double p_frame_bytes_ = 0.0;  // derived from bitrate/fps/gop
+  std::uint64_t frame_index_ = 0;
+  std::uint64_t packet_id_ = 0;
+  std::uint64_t packets_ = 0;
+  std::uint64_t frames_ = 0;
+  Bytes bytes_;
+  double rate_fraction_ = 1.0;
+  bool started_ = false;
+};
+
+}  // namespace tlc::workloads

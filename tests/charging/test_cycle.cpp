@@ -1,0 +1,78 @@
+#include "charging/cycle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::charging {
+namespace {
+
+using std::chrono::seconds;
+
+DataPlan plan_300s() {
+  DataPlan plan;
+  plan.cycle_length = seconds{300};
+  return plan;
+}
+
+TEST(CycleAccountant, BucketsByCycle) {
+  CycleAccountant acc{plan_300s(), sim::NodeClock{}};
+  acc.record(kTimeZero + seconds{10}, Direction::kUplink, Bytes{100});
+  acc.record(kTimeZero + seconds{299}, Direction::kUplink, Bytes{50});
+  acc.record(kTimeZero + seconds{301}, Direction::kUplink, Bytes{7});
+  EXPECT_EQ(acc.usage(0).uplink, Bytes{150});
+  EXPECT_EQ(acc.usage(1).uplink, Bytes{7});
+  EXPECT_EQ(acc.usage(2).uplink, Bytes{0});
+}
+
+TEST(CycleAccountant, SeparatesDirections) {
+  CycleAccountant acc{plan_300s(), sim::NodeClock{}};
+  acc.record(kTimeZero, Direction::kUplink, Bytes{10});
+  acc.record(kTimeZero, Direction::kDownlink, Bytes{20});
+  EXPECT_EQ(acc.usage(0).uplink, Bytes{10});
+  EXPECT_EQ(acc.usage(0).downlink, Bytes{20});
+}
+
+TEST(CycleAccountant, LifetimeSumsAllCycles) {
+  CycleAccountant acc{plan_300s(), sim::NodeClock{}};
+  for (int i = 0; i < 5; ++i) {
+    acc.record(kTimeZero + seconds{i * 300 + 1}, Direction::kDownlink,
+               Bytes{100});
+  }
+  EXPECT_EQ(acc.lifetime_usage().downlink, Bytes{500});
+}
+
+TEST(CycleAccountant, ClockOffsetShiftsBoundary) {
+  // A party whose clock runs 10 s fast attributes traffic near the true
+  // boundary to the *next* cycle — the Fig. 18 error mechanism.
+  CycleAccountant fast{plan_300s(), sim::NodeClock{seconds{10}, 0.0}};
+  CycleAccountant exact{plan_300s(), sim::NodeClock{}};
+  const TimePoint t = kTimeZero + seconds{295};  // true cycle 0
+  fast.record(t, Direction::kUplink, Bytes{42});
+  exact.record(t, Direction::kUplink, Bytes{42});
+  EXPECT_EQ(exact.usage(0).uplink, Bytes{42});
+  EXPECT_EQ(fast.usage(0).uplink, Bytes{0});
+  EXPECT_EQ(fast.usage(1).uplink, Bytes{42});
+}
+
+TEST(CycleAccountant, NegativeOffsetShiftsBackward) {
+  CycleAccountant slow{plan_300s(), sim::NodeClock{-seconds{10}, 0.0}};
+  const TimePoint t = kTimeZero + seconds{305};  // true cycle 1
+  slow.record(t, Direction::kUplink, Bytes{9});
+  EXPECT_EQ(slow.usage(0).uplink, Bytes{9});
+  EXPECT_EQ(slow.usage(1).uplink, Bytes{0});
+}
+
+TEST(CycleAccountant, CycleIndexAt) {
+  CycleAccountant acc{plan_300s(), sim::NodeClock{seconds{10}, 0.0}};
+  EXPECT_EQ(acc.cycle_index_at(kTimeZero + seconds{295}), 1u);
+  EXPECT_EQ(acc.cycle_index_at(kTimeZero + seconds{100}), 0u);
+}
+
+TEST(CycleAccountant, RejectsInvalidPlan) {
+  DataPlan bad;
+  bad.loss_weight = 2.0;
+  EXPECT_THROW((CycleAccountant{bad, sim::NodeClock{}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tlc::charging

@@ -1,0 +1,155 @@
+#include "charging/usage.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::charging {
+namespace {
+
+TEST(ChargedVolume, CEqualsZeroChargesReceivedOnly) {
+  EXPECT_EQ(charged_volume(Bytes{1000}, Bytes{800}, 0.0), Bytes{800});
+}
+
+TEST(ChargedVolume, CEqualsOneChargesAllSent) {
+  EXPECT_EQ(charged_volume(Bytes{1000}, Bytes{800}, 1.0), Bytes{1000});
+}
+
+TEST(ChargedVolume, MidpointAtHalf) {
+  EXPECT_EQ(charged_volume(Bytes{1000}, Bytes{800}, 0.5), Bytes{900});
+}
+
+TEST(ChargedVolume, SymmetricInArguments) {
+  // Line 8 of Algorithm 1 handles either ordering of the claims.
+  EXPECT_EQ(charged_volume(Bytes{800}, Bytes{1000}, 0.25),
+            charged_volume(Bytes{1000}, Bytes{800}, 0.25));
+}
+
+TEST(ChargedVolume, EqualClaimsAreFixedPoint) {
+  for (double c : {0.0, 0.3, 1.0}) {
+    EXPECT_EQ(charged_volume(Bytes{500}, Bytes{500}, c), Bytes{500});
+  }
+}
+
+TEST(ChargedVolume, ZeroVolumes) {
+  EXPECT_EQ(charged_volume(Bytes{0}, Bytes{0}, 0.5), Bytes{0});
+}
+
+TEST(ChargedVolume, RejectsInvalidWeight) {
+  EXPECT_THROW((void)charged_volume(Bytes{1}, Bytes{1}, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)charged_volume(Bytes{1}, Bytes{1}, 1.1),
+               std::invalid_argument);
+}
+
+class ChargedVolumeSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t,
+                                                 std::uint64_t>> {};
+
+TEST_P(ChargedVolumeSweep, AlwaysBetweenClaims) {
+  const auto [c, a, b] = GetParam();
+  const Bytes x = charged_volume(Bytes{a}, Bytes{b}, c);
+  EXPECT_GE(x, std::min(Bytes{a}, Bytes{b}));
+  EXPECT_LE(x, std::max(Bytes{a}, Bytes{b}));
+}
+
+TEST_P(ChargedVolumeSweep, MonotoneInBothClaims) {
+  const auto [c, a, b] = GetParam();
+  const Bytes x = charged_volume(Bytes{a}, Bytes{b}, c);
+  const Bytes x_more = charged_volume(Bytes{a + 1'000'000}, Bytes{b}, c);
+  EXPECT_GE(x_more, x);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ChargedVolumeSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0),
+                       ::testing::Values(0ull, 1'000ull, 777'000'000ull),
+                       ::testing::Values(0ull, 900ull, 800'000'000ull)));
+
+TEST(CorrectCharge, UsesGroundTruth) {
+  GroundTruth t{Bytes{1000}, Bytes{600}};
+  EXPECT_EQ(correct_charge(t, 0.5), Bytes{800});
+  EXPECT_EQ(t.lost(), Bytes{400});
+  EXPECT_DOUBLE_EQ(t.loss_fraction(), 0.4);
+}
+
+TEST(CorrectCharge, NoTrafficHasZeroLossFraction) {
+  GroundTruth t{};
+  EXPECT_DOUBLE_EQ(t.loss_fraction(), 0.0);
+}
+
+TEST(GapMetrics, AbsoluteAndRatio) {
+  const GapMetrics m = gap_metrics(Bytes{900}, Bytes{1000});
+  EXPECT_DOUBLE_EQ(m.absolute_bytes, 100.0);
+  EXPECT_DOUBLE_EQ(m.ratio, 0.1);
+}
+
+TEST(GapMetrics, OverChargeAlsoPositive) {
+  const GapMetrics m = gap_metrics(Bytes{1100}, Bytes{1000});
+  EXPECT_DOUBLE_EQ(m.absolute_bytes, 100.0);
+}
+
+TEST(GapMetrics, ZeroCorrectGivesZeroRatio) {
+  const GapMetrics m = gap_metrics(Bytes{500}, Bytes{0});
+  EXPECT_DOUBLE_EQ(m.ratio, 0.0);
+  EXPECT_DOUBLE_EQ(m.absolute_bytes, 500.0);
+}
+
+TEST(UsageRecord, TotalsAndDirection) {
+  UsageRecord r{Bytes{10}, Bytes{20}};
+  EXPECT_EQ(r.total(), Bytes{30});
+  EXPECT_EQ(r.in(Direction::kUplink), Bytes{10});
+  EXPECT_EQ(r.in(Direction::kDownlink), Bytes{20});
+}
+
+TEST(UsageRecord, Addition) {
+  UsageRecord a{Bytes{1}, Bytes{2}};
+  const UsageRecord b{Bytes{10}, Bytes{20}};
+  a += b;
+  EXPECT_EQ(a, (UsageRecord{Bytes{11}, Bytes{22}}));
+  EXPECT_EQ(a + b, (UsageRecord{Bytes{21}, Bytes{42}}));
+}
+
+TEST(DataPlan, ValidateRejectsBadWeight) {
+  DataPlan plan;
+  plan.loss_weight = 1.5;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.loss_weight = -0.1;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(DataPlan, ValidateRejectsZeroCycle) {
+  DataPlan plan;
+  plan.cycle_length = Duration::zero();
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(DataPlan, CycleAtBucketsCorrectly) {
+  DataPlan plan;
+  plan.cycle_length = std::chrono::hours{1};
+  EXPECT_EQ(plan.cycle_at(kTimeZero).index, 0u);
+  EXPECT_EQ(plan.cycle_at(kTimeZero + std::chrono::minutes{59}).index, 0u);
+  EXPECT_EQ(plan.cycle_at(kTimeZero + std::chrono::minutes{60}).index, 1u);
+  EXPECT_EQ(plan.cycle_at(kTimeZero + std::chrono::hours{25}).index, 25u);
+}
+
+TEST(DataPlan, CycleAtClampsNegativeLocalTimes) {
+  DataPlan plan;
+  const TimePoint before_epoch{-std::chrono::seconds{30}};
+  EXPECT_EQ(plan.cycle_at(before_epoch).index, 0u);
+}
+
+TEST(DataPlan, CycleBoundaries) {
+  DataPlan plan;
+  plan.cycle_length = std::chrono::seconds{300};
+  const ChargingCycle c = plan.cycle_at(kTimeZero + std::chrono::seconds{750});
+  EXPECT_EQ(c.index, 2u);
+  EXPECT_EQ(c.start, kTimeZero + std::chrono::seconds{600});
+  EXPECT_EQ(c.end(), kTimeZero + std::chrono::seconds{900});
+}
+
+TEST(Direction, ToString) {
+  EXPECT_STREQ(to_string(Direction::kUplink), "uplink");
+  EXPECT_STREQ(to_string(Direction::kDownlink), "downlink");
+}
+
+}  // namespace
+}  // namespace tlc::charging

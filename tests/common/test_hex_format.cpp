@@ -1,0 +1,61 @@
+#include "common/format.hpp"
+#include "common/hex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc {
+namespace {
+
+TEST(Hex, EncodeEmpty) { EXPECT_EQ(to_hex({}), ""); }
+
+TEST(Hex, EncodeKnown) {
+  const ByteVec data{0x00, 0x0f, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "000fabff");
+}
+
+TEST(Hex, RoundTrip) {
+  const ByteVec data{0xde, 0xad, 0xbe, 0xef, 0x01};
+  EXPECT_EQ(from_hex(to_hex(data)), data);
+}
+
+TEST(Hex, DecodeUppercase) {
+  EXPECT_EQ(from_hex("ABCD"), (ByteVec{0xab, 0xcd}));
+}
+
+TEST(Hex, DecodeOddLengthThrows) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Hex, DecodeNonHexThrows) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(Bytes{512}), "512 B");
+  EXPECT_EQ(format_bytes(Bytes{1'230}), "1.23 KB");
+  EXPECT_EQ(format_bytes(Bytes{4'050'000'000}), "4.05 GB");
+  EXPECT_EQ(format_bytes(Bytes{59'040'000}), "59.04 MB");
+}
+
+TEST(Format, Rate) {
+  EXPECT_EQ(format_rate(BitRate::from_kbps(128)), "128.00 Kbps");
+  EXPECT_EQ(format_rate(BitRate::from_mbps(9.0)), "9.00 Mbps");
+  EXPECT_EQ(format_rate(BitRate{500}), "500 bps");
+}
+
+TEST(Format, DurationUnits) {
+  EXPECT_EQ(format_duration(std::chrono::seconds{2}), "2.00 s");
+  EXPECT_EQ(format_duration(std::chrono::milliseconds{66}), "66.0 ms");
+  EXPECT_EQ(format_duration(std::chrono::microseconds{15}), "15.0 us");
+  EXPECT_EQ(format_duration(Duration{42}), "42 ns");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.083), "8.3%");
+  EXPECT_EQ(format_percent(0.5, 0), "50%");
+  EXPECT_EQ(format_percent(0.123456, 2), "12.35%");
+}
+
+}  // namespace
+}  // namespace tlc

@@ -1,0 +1,137 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tlc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{1234};
+  Rng b{1234};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng{7};
+  for (int i = 0; i < 1'000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng{99};
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng{11};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) {
+    const std::uint64_t v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng{11};
+  EXPECT_EQ(rng.uniform_int(5, 5), 5u);
+  EXPECT_EQ(rng.uniform_int(9, 2), 9u);  // inverted → lo
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng{3};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng{42};
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{5};
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{8};
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(2.0);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent{77};
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a{77};
+  Rng b{77};
+  Rng ca = a.fork();
+  Rng cb = b.fork();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(ca(), cb());
+}
+
+}  // namespace
+}  // namespace tlc

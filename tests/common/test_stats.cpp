@@ -1,0 +1,130 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace tlc {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, KnownSequence) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, NegativeValues) {
+  OnlineStats s;
+  s.add(-5.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+}
+
+TEST(SampleSet, EmptyBehaviour) {
+  SampleSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(1.0), 0.0);
+  EXPECT_THROW((void)s.percentile(50), std::logic_error);
+  EXPECT_THROW((void)s.min(), std::logic_error);
+  EXPECT_THROW((void)s.max(), std::logic_error);
+}
+
+TEST(SampleSet, MeanMinMax) {
+  SampleSet s;
+  for (double v : {3.0, 1.0, 2.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(SampleSet, PercentileInterpolates) {
+  SampleSet s;
+  for (double v : {0.0, 10.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(-5), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(120), 10.0);
+}
+
+TEST(SampleSet, PercentileLargerSet) {
+  SampleSet s;
+  for (int i = 0; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+}
+
+TEST(SampleSet, CdfAt) {
+  SampleSet s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(10.0), 1.0);
+}
+
+TEST(SampleSet, CdfPointsSpanRange) {
+  SampleSet s;
+  for (int i = 0; i < 50; ++i) s.add(static_cast<double>(i));
+  const auto points = s.cdf_points(5);
+  ASSERT_EQ(points.size(), 5u);
+  EXPECT_DOUBLE_EQ(points.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(points.back().first, 49.0);
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].second, points[i - 1].second);  // monotone CDF
+  }
+}
+
+TEST(SampleSet, CdfPointsDegenerate) {
+  SampleSet s;
+  EXPECT_TRUE(s.cdf_points(10).empty());
+  s.add(1.0);
+  EXPECT_TRUE(s.cdf_points(1).empty());  // needs ≥2 points
+}
+
+TEST(SampleSet, AddAfterQueryKeepsCorrectOrder) {
+  SampleSet s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+  s.add(1.0);  // must re-sort lazily
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+}
+
+class SampleSetPercentileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SampleSetPercentileSweep, MonotoneInP) {
+  SampleSet s;
+  for (int i = 0; i < 1'000; ++i) s.add(static_cast<double>(i % 97));
+  const double p = GetParam();
+  EXPECT_LE(s.percentile(p), s.percentile(std::min(100.0, p + 10)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Percentiles, SampleSetPercentileSweep,
+                         ::testing::Values(0.0, 10.0, 25.0, 50.0, 75.0, 90.0,
+                                           99.0));
+
+}  // namespace
+}  // namespace tlc

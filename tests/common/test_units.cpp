@@ -1,0 +1,77 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc {
+namespace {
+
+TEST(Bytes, DefaultIsZero) { EXPECT_EQ(Bytes{}.count(), 0u); }
+
+TEST(Bytes, LiteralsScaleDecimally) {
+  EXPECT_EQ((5_B).count(), 5u);
+  EXPECT_EQ((3_KB).count(), 3'000u);
+  EXPECT_EQ((2_MB).count(), 2'000'000u);
+  EXPECT_EQ((1_GB).count(), 1'000'000'000u);
+}
+
+TEST(Bytes, Arithmetic) {
+  Bytes a{100};
+  Bytes b{40};
+  EXPECT_EQ((a + b).count(), 140u);
+  EXPECT_EQ((a - b).count(), 60u);
+  a += b;
+  EXPECT_EQ(a.count(), 140u);
+  a -= Bytes{40};
+  EXPECT_EQ(a.count(), 100u);
+}
+
+TEST(Bytes, Comparisons) {
+  EXPECT_LT(Bytes{1}, Bytes{2});
+  EXPECT_EQ(Bytes{7}, Bytes{7});
+  EXPECT_GE(Bytes{9}, Bytes{9});
+}
+
+TEST(Bytes, Megabytes) { EXPECT_DOUBLE_EQ((5_MB).megabytes(), 5.0); }
+
+TEST(BitRate, FromMbps) {
+  EXPECT_EQ(BitRate::from_mbps(9.0).bps(), 9'000'000u);
+  EXPECT_DOUBLE_EQ(BitRate::from_mbps(1.73).mbps(), 1.73);
+}
+
+TEST(BitRate, FromKbps) {
+  EXPECT_EQ(BitRate::from_kbps(128).bps(), 128'000u);
+}
+
+TEST(BitRate, TransmissionTime) {
+  // 1 Mbps, 125000 bytes = 1 Mbit → exactly one second.
+  const BitRate rate = BitRate::from_mbps(1.0);
+  EXPECT_EQ(rate.transmission_time(Bytes{125'000}), from_seconds(1.0));
+}
+
+TEST(BitRate, TransmissionTimeZeroRateIsInfinite) {
+  EXPECT_EQ(BitRate{0}.transmission_time(Bytes{1}), Duration::max());
+}
+
+TEST(BitRate, VolumeOver) {
+  const BitRate rate = BitRate::from_mbps(8.0);  // 1 MB/s
+  EXPECT_EQ(rate.volume_over(std::chrono::seconds{3}).count(), 3'000'000u);
+}
+
+TEST(BitRate, VolumeOverZeroDuration) {
+  EXPECT_EQ(BitRate::from_mbps(100).volume_over(Duration::zero()).count(), 0u);
+}
+
+TEST(Duration, SecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(1.5)), 1.5);
+  EXPECT_DOUBLE_EQ(to_seconds(std::chrono::milliseconds{250}), 0.25);
+}
+
+TEST(Dbm, Ordering) {
+  EXPECT_LT(Dbm{-120.0}, Dbm{-95.0});
+  EXPECT_EQ(Dbm{-95.0}, Dbm{-95.0});
+}
+
+TEST(Dbm, DefaultIsVeryWeak) { EXPECT_LT(Dbm{}.value(), -130.0); }
+
+}  // namespace
+}  // namespace tlc

@@ -1,0 +1,125 @@
+#include "crypto/keys.hpp"
+#include "crypto/signer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::crypto {
+namespace {
+
+/// Key generation is the slow part; share pairs across tests.
+class KeysTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    key_a_ = new KeyPair{KeyPair::generate(KeyStrength::kRsa1024)};
+    key_b_ = new KeyPair{KeyPair::generate(KeyStrength::kRsa1024)};
+  }
+  static void TearDownTestSuite() {
+    delete key_a_;
+    delete key_b_;
+    key_a_ = nullptr;
+    key_b_ = nullptr;
+  }
+  static KeyPair* key_a_;
+  static KeyPair* key_b_;
+};
+
+KeyPair* KeysTest::key_a_ = nullptr;
+KeyPair* KeysTest::key_b_ = nullptr;
+
+TEST_F(KeysTest, GeneratedPairIsValid) {
+  EXPECT_TRUE(key_a_->valid());
+  EXPECT_TRUE(key_a_->public_key().valid());
+}
+
+TEST_F(KeysTest, SignatureSizeMatchesModulus) {
+  EXPECT_EQ(key_a_->signature_size(), 128u);  // RSA-1024 → 128-byte sigs
+}
+
+TEST_F(KeysTest, DefaultConstructedIsInvalid) {
+  KeyPair kp;
+  EXPECT_FALSE(kp.valid());
+  EXPECT_EQ(kp.signature_size(), 0u);
+  PublicKey pk;
+  EXPECT_FALSE(pk.valid());
+}
+
+TEST_F(KeysTest, DerRoundTrip) {
+  const PublicKey original = key_a_->public_key();
+  const ByteVec der = original.to_der();
+  EXPECT_FALSE(der.empty());
+  const PublicKey restored = PublicKey::from_der(der);
+  EXPECT_TRUE(restored == original);
+}
+
+TEST_F(KeysTest, FromDerRejectsGarbage) {
+  const ByteVec garbage{1, 2, 3, 4, 5};
+  EXPECT_THROW((void)PublicKey::from_der(garbage), std::invalid_argument);
+}
+
+TEST_F(KeysTest, DistinctKeysCompareUnequal) {
+  EXPECT_FALSE(key_a_->public_key() == key_b_->public_key());
+}
+
+TEST_F(KeysTest, FingerprintIsStableAndShort) {
+  const std::string fp1 = key_a_->public_key().fingerprint();
+  const std::string fp2 = key_a_->public_key().fingerprint();
+  EXPECT_EQ(fp1, fp2);
+  EXPECT_EQ(fp1.size(), 16u);
+  EXPECT_NE(fp1, key_b_->public_key().fingerprint());
+}
+
+TEST_F(KeysTest, SignVerifyRoundTrip) {
+  const ByteVec msg{'p', 'o', 'c'};
+  const ByteVec sig = sign(*key_a_, msg);
+  EXPECT_EQ(sig.size(), 128u);
+  EXPECT_TRUE(verify(key_a_->public_key(), msg, sig));
+}
+
+TEST_F(KeysTest, VerifyRejectsTamperedMessage) {
+  ByteVec msg(64, 0x11);
+  const ByteVec sig = sign(*key_a_, msg);
+  msg[10] ^= 0xff;
+  EXPECT_FALSE(verify(key_a_->public_key(), msg, sig));
+}
+
+TEST_F(KeysTest, VerifyRejectsTamperedSignature) {
+  const ByteVec msg(64, 0x22);
+  ByteVec sig = sign(*key_a_, msg);
+  sig[0] ^= 0x01;
+  EXPECT_FALSE(verify(key_a_->public_key(), msg, sig));
+}
+
+TEST_F(KeysTest, VerifyRejectsWrongKey) {
+  const ByteVec msg(32, 0x33);
+  const ByteVec sig = sign(*key_a_, msg);
+  EXPECT_FALSE(verify(key_b_->public_key(), msg, sig));
+}
+
+TEST_F(KeysTest, VerifyRejectsEmptySignature) {
+  const ByteVec msg(16, 0x44);
+  EXPECT_FALSE(verify(key_a_->public_key(), msg, {}));
+}
+
+TEST_F(KeysTest, SignEmptyMessage) {
+  const ByteVec sig = sign(*key_a_, {});
+  EXPECT_TRUE(verify(key_a_->public_key(), {}, sig));
+}
+
+TEST_F(KeysTest, SignWithEmptyKeyThrows) {
+  KeyPair empty;
+  EXPECT_THROW((void)sign(empty, {}), std::logic_error);
+  PublicKey pk;
+  EXPECT_THROW((void)verify(pk, {}, {}), std::logic_error);
+}
+
+TEST(KeyStrengthTest, Rsa2048HasLargerSignatures) {
+  const KeyPair kp = KeyPair::generate(KeyStrength::kRsa2048);
+  EXPECT_EQ(kp.signature_size(), 256u);
+  const ByteVec msg(10, 0x01);
+  const ByteVec sig = sign(kp, msg);
+  EXPECT_EQ(sig.size(), 256u);
+  EXPECT_TRUE(verify(kp.public_key(), msg, sig));
+}
+
+}  // namespace
+}  // namespace tlc::crypto

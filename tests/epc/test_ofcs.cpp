@@ -1,0 +1,169 @@
+#include "epc/ofcs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tlc/protocol.hpp"
+
+namespace tlc::epc {
+namespace {
+
+charging::DataPlan small_plan() {
+  charging::DataPlan plan;
+  plan.loss_weight = 0.5;
+  plan.cycle_length = std::chrono::seconds{300};
+  plan.quota = Bytes{1'000'000'000};  // 1 GB
+  plan.price_per_mb = 0.01;
+  return plan;
+}
+
+wire::LegacyCdr cdr_with(Bytes uplink, Bytes downlink) {
+  wire::LegacyCdr cdr;
+  cdr.uplink_volume = uplink;
+  cdr.downlink_volume = downlink;
+  return cdr;
+}
+
+TEST(Ofcs, LegacyBillingSumsCycles) {
+  Ofcs ofcs{small_plan()};
+  ofcs.ingest_legacy_cdr(1, cdr_with(Bytes{100'000'000}, Bytes{0}),
+                         charging::Direction::kUplink);
+  ofcs.ingest_legacy_cdr(2, cdr_with(Bytes{200'000'000}, Bytes{0}),
+                         charging::Direction::kUplink);
+  const BillingStatement stmt = ofcs.statement();
+  ASSERT_EQ(stmt.lines.size(), 2u);
+  EXPECT_EQ(stmt.total_volume, Bytes{300'000'000});
+  EXPECT_NEAR(stmt.total, 3.0, 1e-9);  // 300 MB × $0.01
+  EXPECT_EQ(stmt.lines[0].source, BillSource::kLegacyCdr);
+}
+
+TEST(Ofcs, BillsSelectedDirection) {
+  Ofcs ofcs{small_plan()};
+  ofcs.ingest_legacy_cdr(1, cdr_with(Bytes{10}, Bytes{999}),
+                         charging::Direction::kDownlink);
+  EXPECT_EQ(ofcs.statement().total_volume, Bytes{999});
+}
+
+TEST(Ofcs, QuotaTriggersThrottle) {
+  Ofcs ofcs{small_plan()};
+  EXPECT_FALSE(ofcs.throttle_active());
+  ofcs.ingest_legacy_cdr(1, cdr_with(Bytes{900'000'000}, Bytes{0}),
+                         charging::Direction::kUplink);
+  EXPECT_FALSE(ofcs.throttle_active());
+  ofcs.ingest_legacy_cdr(2, cdr_with(Bytes{200'000'000}, Bytes{0}),
+                         charging::Direction::kUplink);
+  EXPECT_TRUE(ofcs.throttle_active());
+  // §2.1: "throttle the speed if the usage exceeds some quota".
+  EXPECT_EQ(ofcs.current_rate_limit(BitRate::from_mbps(100)),
+            small_plan().throttle_rate);
+}
+
+TEST(Ofcs, NoThrottleBelowQuota) {
+  Ofcs ofcs{small_plan()};
+  ofcs.ingest_legacy_cdr(1, cdr_with(Bytes{1'000}, Bytes{0}),
+                         charging::Direction::kUplink);
+  EXPECT_EQ(ofcs.current_rate_limit(BitRate::from_mbps(100)),
+            BitRate::from_mbps(100));
+}
+
+TEST(Ofcs, StatementMarksThrottledCycles) {
+  Ofcs ofcs{small_plan()};
+  ofcs.ingest_legacy_cdr(1, cdr_with(Bytes{600'000'000}, Bytes{0}),
+                         charging::Direction::kUplink);
+  ofcs.ingest_legacy_cdr(2, cdr_with(Bytes{600'000'000}, Bytes{0}),
+                         charging::Direction::kUplink);
+  const BillingStatement stmt = ofcs.statement();
+  EXPECT_FALSE(stmt.lines[0].throttled_after);
+  EXPECT_TRUE(stmt.lines[1].throttled_after);
+}
+
+TEST(Ofcs, PocIngestRequiresVerifier) {
+  Ofcs ofcs{small_plan()};
+  const ByteVec junk{1, 2, 3};
+  EXPECT_EQ(ofcs.ingest_poc(junk), core::VerifyResult::kMalformed);
+}
+
+class OfcsPocTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    edge_keys_ = new crypto::KeyPair{
+        crypto::KeyPair::generate(crypto::KeyStrength::kRsa1024)};
+    op_keys_ = new crypto::KeyPair{
+        crypto::KeyPair::generate(crypto::KeyStrength::kRsa1024)};
+  }
+
+  core::PocMsg make_poc(std::uint64_t cycle, Bytes sent, Bytes received) {
+    const charging::DataPlan plan = small_plan();
+    const auto es = core::make_optimal_edge();
+    const auto os = core::make_optimal_operator();
+    core::ProtocolParty::Config ce;
+    ce.role = core::PartyRole::kEdgeVendor;
+    ce.plan = plan;
+    ce.cycle = plan.cycle_at(kTimeZero + plan.cycle_length *
+                                             static_cast<std::int64_t>(cycle));
+    ce.view = core::LocalView{sent, received};
+    core::ProtocolParty::Config co = ce;
+    co.role = core::PartyRole::kCellularOperator;
+    core::ProtocolParty edge{ce, *es, *edge_keys_, op_keys_->public_key(),
+                             Rng{cycle}};
+    core::ProtocolParty op{co, *os, *op_keys_, edge_keys_->public_key(),
+                           Rng{cycle + 99}};
+    core::run_exchange(op, edge);
+    return *op.poc();
+  }
+
+  static crypto::KeyPair* edge_keys_;
+  static crypto::KeyPair* op_keys_;
+};
+
+crypto::KeyPair* OfcsPocTest::edge_keys_ = nullptr;
+crypto::KeyPair* OfcsPocTest::op_keys_ = nullptr;
+
+TEST_F(OfcsPocTest, VerifiedPocOverridesLegacyCdr) {
+  core::PublicVerifier verifier{edge_keys_->public_key(),
+                                op_keys_->public_key(), small_plan()};
+  Ofcs ofcs{small_plan(), &verifier};
+  // A selfish operator's inflated legacy CDR for cycle 3...
+  ofcs.ingest_legacy_cdr(3, cdr_with(Bytes{2'000'000'000}, Bytes{0}),
+                         charging::Direction::kUplink);
+  EXPECT_EQ(ofcs.statement().total_volume, Bytes{2'000'000'000});
+  // ...is replaced by the dual-signed, audited volume.
+  const core::PocMsg poc =
+      make_poc(3, Bytes{1'000'000'000}, Bytes{920'000'000});
+  EXPECT_EQ(ofcs.ingest_poc(poc.encode()), core::VerifyResult::kOk);
+  const BillingStatement stmt = ofcs.statement();
+  ASSERT_EQ(stmt.lines.size(), 1u);
+  EXPECT_EQ(stmt.lines[0].source, BillSource::kVerifiedPoc);
+  EXPECT_EQ(stmt.total_volume, Bytes{960'000'000});  // x̂ at c = 0.5
+}
+
+TEST_F(OfcsPocTest, RejectedPocLeavesLegacyBill) {
+  core::PublicVerifier verifier{edge_keys_->public_key(),
+                                op_keys_->public_key(), small_plan()};
+  Ofcs ofcs{small_plan(), &verifier};
+  ofcs.ingest_legacy_cdr(4, cdr_with(Bytes{500'000'000}, Bytes{0}),
+                         charging::Direction::kUplink);
+  core::PocMsg poc = make_poc(4, Bytes{1'000'000}, Bytes{900'000});
+  poc.charged = Bytes{1};  // tampered → bad signature
+  EXPECT_NE(ofcs.ingest_poc(poc.encode()), core::VerifyResult::kOk);
+  EXPECT_EQ(ofcs.statement().lines[0].source, BillSource::kLegacyCdr);
+}
+
+TEST_F(OfcsPocTest, MixedCyclesPreferVerifiedWhereAvailable) {
+  core::PublicVerifier verifier{edge_keys_->public_key(),
+                                op_keys_->public_key(), small_plan()};
+  Ofcs ofcs{small_plan(), &verifier};
+  ofcs.ingest_legacy_cdr(1, cdr_with(Bytes{100'000'000}, Bytes{0}),
+                         charging::Direction::kUplink);
+  ofcs.ingest_legacy_cdr(2, cdr_with(Bytes{100'000'000}, Bytes{0}),
+                         charging::Direction::kUplink);
+  const core::PocMsg poc = make_poc(2, Bytes{80'000'000}, Bytes{76'000'000});
+  ASSERT_EQ(ofcs.ingest_poc(poc.encode()), core::VerifyResult::kOk);
+  const BillingStatement stmt = ofcs.statement();
+  ASSERT_EQ(stmt.lines.size(), 2u);
+  EXPECT_EQ(stmt.lines[0].source, BillSource::kLegacyCdr);
+  EXPECT_EQ(stmt.lines[1].source, BillSource::kVerifiedPoc);
+  EXPECT_EQ(stmt.total_volume, Bytes{178'000'000});
+}
+
+}  // namespace
+}  // namespace tlc::epc

@@ -1,0 +1,116 @@
+#include "epc/sla_middlebox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tlc::epc {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+struct Fixture : ::testing::Test {
+  sim::Scheduler sched;
+  std::vector<net::Packet> delivered;
+  std::vector<net::Packet> sla_dropped;
+
+  net::CellLink::Config slow_link_cfg() {
+    net::CellLink::Config cfg;
+    cfg.capacity = BitRate::from_kbps(80);  // 10 KB/s: backlog builds fast
+    cfg.buffer_size = Bytes{1'000'000};
+    return cfg;
+  }
+
+  net::Packet packet(std::uint64_t id, std::uint64_t size = 1'000) {
+    net::Packet p;
+    p.id = id;
+    p.size = Bytes{size};
+    p.created = sched.now();
+    return p;
+  }
+};
+
+TEST_F(Fixture, FreshPacketsPassThrough) {
+  net::CellLink link{sched, net::CellLink::Config{}, nullptr,
+                     [this](const net::Packet& p, TimePoint) {
+                       delivered.push_back(p);
+                     },
+                     nullptr};
+  SlaMiddlebox box{sched, SlaMiddlebox::Config{}, link,
+                   [&link](net::Packet p) { link.enqueue(std::move(p)); },
+                   [this](const net::Packet& p, net::DropCause, TimePoint) {
+                     sla_dropped.push_back(p);
+                   }};
+  box.process(packet(1));
+  sched.run();
+  EXPECT_EQ(delivered.size(), 1u);
+  EXPECT_TRUE(sla_dropped.empty());
+}
+
+TEST_F(Fixture, BackloggedLinkTriggersSlaDrops) {
+  net::CellLink link{sched, slow_link_cfg(), nullptr,
+                     [this](const net::Packet& p, TimePoint) {
+                       delivered.push_back(p);
+                     },
+                     nullptr};
+  SlaMiddlebox box{sched, SlaMiddlebox::Config{milliseconds{150}}, link,
+                   [&link](net::Packet p) { link.enqueue(std::move(p)); },
+                   [this](const net::Packet& p, net::DropCause cause,
+                          TimePoint) {
+                     EXPECT_EQ(cause, net::DropCause::kSlaViolation);
+                     sla_dropped.push_back(p);
+                   }};
+  // 10 packets of 1 KB into a 10 KB/s link: each adds 100 ms of backlog;
+  // after the first two the projected delay exceeds the 150 ms budget.
+  for (std::uint64_t i = 0; i < 10; ++i) box.process(packet(i));
+  EXPECT_GE(sla_dropped.size(), 7u);
+  EXPECT_EQ(box.dropped_packets(), sla_dropped.size());
+  sched.run();
+  EXPECT_EQ(delivered.size(), 10 - sla_dropped.size());
+}
+
+TEST_F(Fixture, StalePacketDroppedEvenWithEmptyQueue) {
+  net::CellLink link{sched, net::CellLink::Config{}, nullptr, nullptr,
+                     nullptr};
+  SlaMiddlebox box{sched, SlaMiddlebox::Config{milliseconds{100}}, link,
+                   [&link](net::Packet p) { link.enqueue(std::move(p)); }};
+  net::Packet old = packet(1);
+  sched.schedule_after(seconds{1}, [&] { box.process(std::move(old)); });
+  sched.run();
+  EXPECT_EQ(box.dropped_packets(), 1u);  // created 1 s ago, budget 100 ms
+}
+
+TEST_F(Fixture, ZeroBudgetDisablesTheBox) {
+  net::CellLink link{sched, slow_link_cfg(), nullptr, nullptr, nullptr};
+  SlaMiddlebox box{sched, SlaMiddlebox::Config{Duration::zero()}, link,
+                   [&link](net::Packet p) { link.enqueue(std::move(p)); }};
+  for (std::uint64_t i = 0; i < 20; ++i) box.process(packet(i));
+  EXPECT_EQ(box.dropped_packets(), 0u);
+}
+
+TEST_F(Fixture, PriorityTrafficSeesFullCapacityEstimate) {
+  // A QCI 7 packet's latency estimate uses the preempting service rate,
+  // so best-effort backlog does not trigger SLA drops for it.
+  net::CellLink::Config cfg = slow_link_cfg();
+  cfg.capacity = BitRate::from_mbps(100);
+  net::CellLink link{sched, cfg, nullptr, nullptr, nullptr};
+  link.set_background_load(BitRate::from_mbps(99));  // QCI9 starved
+  SlaMiddlebox box{sched, SlaMiddlebox::Config{milliseconds{50}}, link,
+                   [&link](net::Packet p) { link.enqueue(std::move(p)); }};
+  net::Packet p = packet(1);
+  p.qci = net::Qci::kQci7;
+  box.process(std::move(p));
+  EXPECT_EQ(box.dropped_packets(), 0u);
+}
+
+TEST_F(Fixture, CountsDroppedBytes) {
+  net::CellLink link{sched, slow_link_cfg(), nullptr, nullptr, nullptr};
+  SlaMiddlebox box{sched, SlaMiddlebox::Config{milliseconds{100}}, link,
+                   [&link](net::Packet p) { link.enqueue(std::move(p)); }};
+  for (std::uint64_t i = 0; i < 5; ++i) box.process(packet(i, 2'000));
+  EXPECT_EQ(box.dropped_bytes().count(), box.dropped_packets() * 2'000);
+}
+
+}  // namespace
+}  // namespace tlc::epc

@@ -1,0 +1,49 @@
+#include "exp/device_profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::exp {
+namespace {
+
+TEST(DeviceProfile, FourDevicesFromThePaper) {
+  const auto& profiles = device_profiles();
+  ASSERT_EQ(profiles.size(), 4u);
+  EXPECT_EQ(profiles[0].name, "Z840");
+  EXPECT_EQ(profiles[1].name, "EL20");
+  EXPECT_EQ(profiles[2].name, "S7 Edge");
+  EXPECT_EQ(profiles[3].name, "Pixel 2XL");
+}
+
+TEST(DeviceProfile, Z840IsTheBaseline) {
+  EXPECT_DOUBLE_EQ(z840_profile().crypto_slowdown, 1.0);
+}
+
+TEST(DeviceProfile, SlowdownsMatchPaperVerificationRatios) {
+  // Fig. 17 verification means: 15.7 / 23.2 / 58.3 / 75.6 ms — the
+  // slowdowns must reproduce those ratios to ~10%.
+  const auto& profiles = device_profiles();
+  const double base = to_seconds(profiles[0].paper_verification);
+  for (const auto& dev : profiles) {
+    const double expected =
+        to_seconds(dev.paper_verification) / base;
+    EXPECT_NEAR(dev.crypto_slowdown, expected, expected * 0.1) << dev.name;
+  }
+}
+
+TEST(DeviceProfile, SlowdownsAreMonotone) {
+  const auto& profiles = device_profiles();
+  for (std::size_t i = 1; i < profiles.size(); ++i) {
+    EXPECT_GT(profiles[i].crypto_slowdown,
+              profiles[i - 1].crypto_slowdown);
+  }
+}
+
+TEST(DeviceProfile, PhoneLatenciesExceedWorkstation) {
+  const auto& profiles = device_profiles();
+  for (std::size_t i = 1; i < profiles.size(); ++i) {
+    EXPECT_GT(profiles[i].link_latency, profiles[0].link_latency);
+  }
+}
+
+}  // namespace
+}  // namespace tlc::exp

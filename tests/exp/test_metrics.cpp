@@ -1,0 +1,87 @@
+#include "exp/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::exp {
+namespace {
+
+ScenarioResult fake_result() {
+  ScenarioResult r;
+  r.config.cycle_length = std::chrono::seconds{3600};
+  CycleOutcome c;
+  c.truth = charging::GroundTruth{Bytes{1'000'000'000}, Bytes{900'000'000}};
+  c.correct = Bytes{950'000'000};
+  c.legacy = Bytes{900'000'000};  // 50 MB gap
+  c.optimal.converged = true;
+  c.optimal.charged = Bytes{949'000'000};  // 1 MB gap
+  c.optimal.rounds = 1;
+  c.random.converged = true;
+  c.random.charged = Bytes{940'000'000};  // 10 MB gap
+  c.random.rounds = 3;
+  r.cycles.push_back(c);
+  return r;
+}
+
+TEST(Metrics, CollectGapsPerScheme) {
+  const std::vector<ScenarioResult> results{fake_result()};
+  const GapSamples legacy = collect_gaps(results, Scheme::kLegacy);
+  const GapSamples optimal = collect_gaps(results, Scheme::kTlcOptimal);
+  const GapSamples random = collect_gaps(results, Scheme::kTlcRandom);
+  ASSERT_EQ(legacy.mb_per_hr.count(), 1u);
+  EXPECT_NEAR(legacy.mb_per_hr.mean(), 50.0, 1e-9);
+  EXPECT_NEAR(optimal.mb_per_hr.mean(), 1.0, 1e-9);
+  EXPECT_NEAR(random.mb_per_hr.mean(), 10.0, 1e-9);
+  EXPECT_NEAR(legacy.ratio.mean(), 50.0 / 950.0, 1e-9);
+}
+
+TEST(Metrics, CollectGapReduction) {
+  const std::vector<ScenarioResult> results{fake_result()};
+  const SampleSet mu = collect_gap_reduction(results);
+  ASSERT_EQ(mu.count(), 1u);
+  EXPECT_NEAR(mu.mean(), (50.0 - 1.0) / 50.0, 1e-9);
+}
+
+TEST(Metrics, GapReductionSkipsZeroLegacyGap) {
+  ScenarioResult r = fake_result();
+  r.cycles[0].legacy = r.cycles[0].correct;  // no legacy gap
+  const SampleSet mu = collect_gap_reduction({r});
+  EXPECT_EQ(mu.count(), 0u);
+}
+
+TEST(Metrics, CollectRounds) {
+  const std::vector<ScenarioResult> results{fake_result()};
+  EXPECT_DOUBLE_EQ(collect_rounds(results, Scheme::kTlcOptimal).mean(), 1.0);
+  EXPECT_DOUBLE_EQ(collect_rounds(results, Scheme::kTlcRandom).mean(), 3.0);
+  EXPECT_DOUBLE_EQ(collect_rounds(results, Scheme::kLegacy).mean(), 0.0);
+}
+
+TEST(Metrics, SchemeNames) {
+  EXPECT_EQ(to_string(Scheme::kLegacy), "Legacy 4G/5G");
+  EXPECT_EQ(to_string(Scheme::kTlcRandom), "TLC-random");
+  EXPECT_EQ(to_string(Scheme::kTlcOptimal), "TLC-optimal");
+}
+
+TEST(Metrics, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Metrics, TablePrintsWithoutCrashing) {
+  Table t{{"app", "gap"}};
+  t.add_row({"WebCam", "16.56"});
+  t.add_row({"VRidge (long name to widen)", "384.49"});
+  t.add_row({"short"});  // fewer cells than headers
+  t.print();             // smoke: no crash, no throw
+}
+
+TEST(Metrics, PrintCdfHandlesEmpty) {
+  SampleSet empty;
+  print_cdf("empty", empty);  // must not throw
+  SampleSet some;
+  for (int i = 0; i < 10; ++i) some.add(i);
+  print_cdf("some", some, 5);
+}
+
+}  // namespace
+}  // namespace tlc::exp

@@ -1,0 +1,202 @@
+// Integration tests: the full paper pipeline, asserting the evaluation's
+// qualitative results (who wins, where the crossovers are).
+#include "exp/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::exp {
+namespace {
+
+ScenarioConfig quick(AppKind app) {
+  ScenarioConfig cfg;
+  cfg.app = app;
+  cfg.cycles = 2;
+  cfg.cycle_length = std::chrono::seconds{120};
+  cfg.seed = 17;
+  return cfg;
+}
+
+double mean_gap_legacy(const ScenarioResult& r) {
+  double sum = 0;
+  for (const auto& c : r.cycles) sum += c.legacy_gap().absolute_bytes;
+  return sum / static_cast<double>(r.cycles.size());
+}
+double mean_gap_optimal(const ScenarioResult& r) {
+  double sum = 0;
+  for (const auto& c : r.cycles) sum += c.optimal_gap().absolute_bytes;
+  return sum / static_cast<double>(r.cycles.size());
+}
+double mean_gap_random(const ScenarioResult& r) {
+  double sum = 0;
+  for (const auto& c : r.cycles) sum += c.random_gap().absolute_bytes;
+  return sum / static_cast<double>(r.cycles.size());
+}
+
+class AppSweep : public ::testing::TestWithParam<AppKind> {};
+
+TEST_P(AppSweep, ProducesExpectedDirectionAndTraffic) {
+  const auto result = run_scenario(quick(GetParam()));
+  ASSERT_EQ(result.cycles.size(), 2u);
+  for (const auto& c : result.cycles) {
+    EXPECT_EQ(c.direction, app_direction(GetParam()));
+    EXPECT_GT(c.truth.sent.count(), 0u);
+    EXPECT_LE(c.truth.received, c.truth.sent);
+  }
+  EXPECT_GT(result.measured_app_mbps, 0.0);
+}
+
+TEST_P(AppSweep, TlcOptimalBeatsLegacy) {
+  // Table 2's headline: TLC-optimal reduces the gap in every scenario.
+  const auto result = run_scenario(quick(GetParam()));
+  EXPECT_LT(mean_gap_optimal(result), mean_gap_legacy(result));
+}
+
+TEST_P(AppSweep, TlcOptimalConvergesInOneRound) {
+  // Fig. 16b: TLC-optimal needs exactly 1 round everywhere.
+  const auto result = run_scenario(quick(GetParam()));
+  for (const auto& c : result.cycles) {
+    EXPECT_TRUE(c.optimal.converged);
+    EXPECT_EQ(c.optimal.rounds, 1);
+  }
+}
+
+TEST_P(AppSweep, TlcRandomConvergesWithinBounds) {
+  const auto result = run_scenario(quick(GetParam()));
+  for (const auto& c : result.cycles) {
+    EXPECT_TRUE(c.random.converged);
+    EXPECT_GE(c.random.rounds, 1);
+    EXPECT_LE(c.random.rounds, 16);
+  }
+}
+
+TEST_P(AppSweep, ChargesRespectTheoremTwoBound) {
+  const auto result = run_scenario(quick(GetParam()));
+  for (const auto& c : result.cycles) {
+    const double slack = c.truth.sent.as_double() * 0.045 + 20'000;
+    EXPECT_GE(c.optimal.charged.as_double(),
+              c.truth.received.as_double() - slack);
+    EXPECT_LE(c.optimal.charged.as_double(),
+              c.truth.sent.as_double() + slack);
+    EXPECT_GE(c.random.charged.as_double(),
+              c.truth.received.as_double() - slack);
+    EXPECT_LE(c.random.charged.as_double(),
+              c.truth.sent.as_double() + slack);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppSweep,
+                         ::testing::Values(AppKind::kWebcamRtsp,
+                                           AppKind::kWebcamUdp,
+                                           AppKind::kVridge,
+                                           AppKind::kGaming));
+
+TEST(Scenario, MeasuredRatesMatchPaper) {
+  EXPECT_NEAR(run_scenario(quick(AppKind::kWebcamRtsp)).measured_app_mbps,
+              0.77, 0.1);
+  EXPECT_NEAR(run_scenario(quick(AppKind::kWebcamUdp)).measured_app_mbps,
+              1.73, 0.2);
+  EXPECT_NEAR(run_scenario(quick(AppKind::kVridge)).measured_app_mbps, 9.0,
+              0.8);
+}
+
+TEST(Scenario, CongestionEnlargesLegacyGap) {
+  // Fig. 3/13: the loss-induced gap grows with background traffic.
+  ScenarioConfig base = quick(AppKind::kWebcamUdp);
+  ScenarioConfig congested = base;
+  congested.background_mbps = 160.0;
+  const double calm = mean_gap_legacy(run_scenario(base));
+  const double busy = mean_gap_legacy(run_scenario(congested));
+  EXPECT_GT(busy, calm * 2.0);
+}
+
+TEST(Scenario, GamingImmuneToCongestionViaQci7) {
+  // Fig. 13d: the accelerated QCI 7 bearer keeps its tiny gap under load.
+  ScenarioConfig base = quick(AppKind::kGaming);
+  ScenarioConfig congested = base;
+  congested.background_mbps = 160.0;
+  const double calm = mean_gap_legacy(run_scenario(base));
+  const double busy = mean_gap_legacy(run_scenario(congested));
+  EXPECT_LT(busy, calm * 1.5 + 50'000);
+}
+
+TEST(Scenario, IntermittencyEnlargesLegacyGap) {
+  // Fig. 4/14.
+  ScenarioConfig base = quick(AppKind::kWebcamUdp);
+  ScenarioConfig flaky = base;
+  flaky.dip_rate_per_s = 0.08;
+  const auto calm = run_scenario(base);
+  const auto rough = run_scenario(flaky);
+  EXPECT_GT(mean_gap_legacy(rough), mean_gap_legacy(calm));
+  EXPECT_GT(rough.cycles[0].disconnect_ratio + rough.cycles[1].disconnect_ratio,
+            0.0);
+}
+
+TEST(Scenario, TlcStillHelpsUnderIntermittency) {
+  ScenarioConfig flaky = quick(AppKind::kWebcamUdp);
+  flaky.dip_rate_per_s = 0.08;
+  const auto result = run_scenario(flaky);
+  EXPECT_LT(mean_gap_optimal(result), mean_gap_legacy(result));
+}
+
+TEST(Scenario, LossWeightOneMakesLegacyDownlinkCorrect) {
+  // Fig. 15's endpoint: at c = 1 the correct charge IS the sent volume,
+  // which is what the gateway counts on the downlink — legacy becomes
+  // near-exact and TLC's advantage vanishes.
+  ScenarioConfig cfg = quick(AppKind::kVridge);
+  cfg.loss_weight = 1.0;
+  const auto result = run_scenario(cfg);
+  for (const auto& c : result.cycles) {
+    EXPECT_LT(c.legacy_gap().ratio, 0.01);
+  }
+}
+
+TEST(Scenario, SmallerLossWeightMeansBiggerLegacyGapDownlink) {
+  ScenarioConfig c0 = quick(AppKind::kVridge);
+  c0.loss_weight = 0.0;
+  ScenarioConfig c1 = quick(AppKind::kVridge);
+  c1.loss_weight = 0.75;
+  EXPECT_GT(mean_gap_legacy(run_scenario(c0)),
+            mean_gap_legacy(run_scenario(c1)));
+}
+
+TEST(Scenario, DeterministicForSameSeed) {
+  const auto a = run_scenario(quick(AppKind::kWebcamUdp));
+  const auto b = run_scenario(quick(AppKind::kWebcamUdp));
+  ASSERT_EQ(a.cycles.size(), b.cycles.size());
+  for (std::size_t i = 0; i < a.cycles.size(); ++i) {
+    EXPECT_EQ(a.cycles[i].truth.sent, b.cycles[i].truth.sent);
+    EXPECT_EQ(a.cycles[i].optimal.charged, b.cycles[i].optimal.charged);
+    EXPECT_EQ(a.cycles[i].random.charged, b.cycles[i].random.charged);
+  }
+}
+
+TEST(Scenario, DifferentSeedsVary) {
+  ScenarioConfig other = quick(AppKind::kWebcamUdp);
+  other.seed = 18;
+  const auto a = run_scenario(quick(AppKind::kWebcamUdp));
+  const auto b = run_scenario(other);
+  EXPECT_NE(a.cycles[0].truth.received, b.cycles[0].truth.received);
+}
+
+TEST(Scenario, ToMbPerHrNormalization) {
+  ScenarioResult r;
+  r.config.cycle_length = std::chrono::seconds{300};
+  // 1 MB gap in a 300 s cycle = 12 MB/hr.
+  EXPECT_DOUBLE_EQ(r.to_mb_per_hr(1e6), 12.0);
+}
+
+TEST(Scenario, AppMetadataConsistent) {
+  EXPECT_EQ(app_direction(AppKind::kWebcamRtsp),
+            charging::Direction::kUplink);
+  EXPECT_EQ(app_direction(AppKind::kVridge),
+            charging::Direction::kDownlink);
+  for (AppKind app : {AppKind::kWebcamRtsp, AppKind::kWebcamUdp,
+                      AppKind::kVridge, AppKind::kGaming}) {
+    EXPECT_GT(app_baseline_loss(app), 0.0);
+    EXPECT_LT(app_baseline_loss(app), 0.2);
+    EXPECT_FALSE(std::string(to_string(app)).empty());
+  }
+}
+
+}  // namespace
+}  // namespace tlc::exp

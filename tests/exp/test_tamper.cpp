@@ -1,0 +1,110 @@
+// Selfish-behaviour experiments: the §5.4 strawmen and the §3.3 attacks.
+#include <gtest/gtest.h>
+
+#include "exp/scenario.hpp"
+#include "tlc/negotiation.hpp"
+
+namespace tlc::exp {
+namespace {
+
+ScenarioConfig quick(AppKind app) {
+  ScenarioConfig cfg;
+  cfg.app = app;
+  cfg.cycles = 2;
+  cfg.cycle_length = std::chrono::seconds{120};
+  cfg.seed = 23;
+  return cfg;
+}
+
+TEST(Tamper, StrawmanApiMonitorIsFooledByEdge) {
+  // Strawman 1 (§5.4): the operator reads the device's user-space APIs;
+  // a selfish edge reporting 60% of real usage shrinks the operator's
+  // downlink record — under-charging.
+  ScenarioConfig cfg = quick(AppKind::kVridge);
+  cfg.dl_source = monitor::OperatorDlSource::kDeviceApi;
+  cfg.edge_api_tamper = 0.6;
+  const auto result = run_scenario(cfg);
+  for (const auto& c : result.cycles) {
+    EXPECT_LT(c.op_view.received_estimate.as_double(),
+              c.truth.received.as_double() * 0.7);
+  }
+}
+
+TEST(Tamper, RrcMonitorResistsEdgeTampering) {
+  // TLC's monitor (hardware counters) is unaffected by the same attack.
+  ScenarioConfig cfg = quick(AppKind::kVridge);
+  cfg.dl_source = monitor::OperatorDlSource::kRrcCounterCheck;
+  cfg.edge_api_tamper = 0.6;
+  const auto result = run_scenario(cfg);
+  for (const auto& c : result.cycles) {
+    EXPECT_NEAR(c.op_view.received_estimate.as_double(),
+                c.truth.received.as_double(),
+                c.truth.received.as_double() * 0.06);
+  }
+}
+
+TEST(Tamper, SelfishOperatorCdrInflationUnboundedInLegacy) {
+  // §3.1: "the selfish charging volume can be unbounded" in legacy 4G/5G.
+  ScenarioConfig cfg = quick(AppKind::kVridge);
+  cfg.operator_cdr_tamper = 3.0;  // operator bills 3× reality
+  const auto result = run_scenario(cfg);
+  for (const auto& c : result.cycles) {
+    EXPECT_GT(c.legacy.as_double(), c.truth.sent.as_double() * 2.5);
+    EXPECT_GT(c.legacy_gap().ratio, 1.0);  // >100% over-charge goes through
+  }
+}
+
+TEST(Tamper, TlcBoundsSelfishOperatorInflation) {
+  // Theorem 2: under TLC the same 3× CDR inflation is rejected by the
+  // edge's cross-check; the negotiated charge stays ≤ x̂_e (+ slack).
+  ScenarioConfig cfg = quick(AppKind::kVridge);
+  cfg.operator_cdr_tamper = 3.0;
+  const auto result = run_scenario(cfg);
+  for (const auto& c : result.cycles) {
+    ASSERT_TRUE(c.optimal.converged);
+    EXPECT_LE(c.optimal.charged.as_double(),
+              c.truth.sent.as_double() * 1.05);
+    EXPECT_LT(c.optimal_gap().ratio, c.legacy_gap().ratio);
+  }
+}
+
+TEST(Tamper, TlcBoundsHoldForRandomStrategyToo) {
+  ScenarioConfig cfg = quick(AppKind::kVridge);
+  cfg.operator_cdr_tamper = 2.0;
+  const auto result = run_scenario(cfg);
+  for (const auto& c : result.cycles) {
+    ASSERT_TRUE(c.random.converged);
+    EXPECT_LE(c.random.charged.as_double(),
+              c.truth.sent.as_double() * 1.05);
+  }
+}
+
+TEST(Tamper, UplinkCdrInflationPoisonsCrossCheckAndStallsNegotiation) {
+  // On the uplink the operator's *received* record is the gateway CDR
+  // itself. An operator that inflates it and then cross-checks against
+  // the fake record rejects every plausible edge claim: negotiation
+  // cannot converge, no PoC is produced, and the operator is never paid —
+  // the paper's "neither benefits from misbehaviour" outcome (§5.1).
+  ScenarioConfig cfg = quick(AppKind::kWebcamUdp);
+  cfg.operator_cdr_tamper = 2.0;
+  const auto result = run_scenario(cfg);
+  for (const auto& c : result.cycles) {
+    EXPECT_FALSE(c.optimal.converged);
+  }
+}
+
+TEST(Tamper, ModestInflationWithinLossWindowSurvives) {
+  // An operator inflating within the loss window cannot be caught (the
+  // claim is plausible) — TLC bounds, not eliminates, such selfishness.
+  ScenarioConfig cfg = quick(AppKind::kWebcamUdp);
+  cfg.operator_cdr_tamper = 1.02;
+  const auto result = run_scenario(cfg);
+  for (const auto& c : result.cycles) {
+    EXPECT_TRUE(c.optimal.converged);
+    EXPECT_LE(c.optimal.charged.as_double(),
+              c.truth.sent.as_double() * 1.05);
+  }
+}
+
+}  // namespace
+}  // namespace tlc::exp

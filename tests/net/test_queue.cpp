@@ -1,0 +1,132 @@
+#include "net/queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::net {
+namespace {
+
+Packet make_packet(std::uint64_t id, std::uint64_t size,
+                   Qci qci = Qci::kQci9) {
+  Packet p;
+  p.id = id;
+  p.size = Bytes{size};
+  p.qci = qci;
+  return p;
+}
+
+TEST(QciQueue, StartsEmpty) {
+  QciQueue q{Bytes{1000}};
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.peek(), nullptr);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(QciQueue, FifoWithinClass) {
+  QciQueue q{Bytes{10'000}};
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    auto r = q.enqueue(make_packet(i, 100), kTimeZero);
+    EXPECT_TRUE(r.evicted.empty());
+    EXPECT_FALSE(r.rejected.has_value());
+  }
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    EXPECT_EQ(q.pop()->packet.id, i);
+  }
+}
+
+TEST(QciQueue, StrictPriorityAcrossClasses) {
+  QciQueue q{Bytes{10'000}};
+  (void)q.enqueue(make_packet(1, 100, Qci::kQci9), kTimeZero);
+  (void)q.enqueue(make_packet(2, 100, Qci::kQci7), kTimeZero);
+  (void)q.enqueue(make_packet(3, 100, Qci::kQci3), kTimeZero);
+  EXPECT_EQ(q.pop()->packet.id, 3u);  // QCI3 first
+  EXPECT_EQ(q.pop()->packet.id, 2u);  // then QCI7
+  EXPECT_EQ(q.pop()->packet.id, 1u);
+}
+
+TEST(QciQueue, ByteAccounting) {
+  QciQueue q{Bytes{1000}};
+  (void)q.enqueue(make_packet(1, 300), kTimeZero);
+  (void)q.enqueue(make_packet(2, 200), kTimeZero);
+  EXPECT_EQ(q.used(), Bytes{500});
+  EXPECT_EQ(q.size(), 2u);
+  (void)q.pop();
+  EXPECT_EQ(q.used(), Bytes{200});
+}
+
+TEST(QciQueue, OverflowRejectsSamePriorityArrival) {
+  QciQueue q{Bytes{500}};
+  (void)q.enqueue(make_packet(1, 400), kTimeZero);
+  auto r = q.enqueue(make_packet(2, 400), kTimeZero);
+  // Arrival is same priority as the tail: tail is evicted? No — eviction
+  // only targets classes not more important; same-class eviction would
+  // reorder the FIFO, so the arrival evicts from its own class's tail.
+  // Our policy: the tail entry of the ≥-priority-value class is evicted.
+  EXPECT_TRUE(r.rejected.has_value() || !r.evicted.empty());
+  EXPECT_LE(q.used(), Bytes{500});
+}
+
+TEST(QciQueue, HighPriorityEvictsBestEffort) {
+  QciQueue q{Bytes{500}};
+  (void)q.enqueue(make_packet(1, 400, Qci::kQci9), kTimeZero);
+  auto r = q.enqueue(make_packet(2, 400, Qci::kQci7), kTimeZero);
+  ASSERT_EQ(r.evicted.size(), 1u);
+  EXPECT_EQ(r.evicted[0].packet.id, 1u);
+  EXPECT_FALSE(r.rejected.has_value());
+  EXPECT_EQ(q.pop()->packet.id, 2u);
+}
+
+TEST(QciQueue, BestEffortCannotEvictPriority) {
+  QciQueue q{Bytes{500}};
+  (void)q.enqueue(make_packet(1, 400, Qci::kQci7), kTimeZero);
+  auto r = q.enqueue(make_packet(2, 400, Qci::kQci9), kTimeZero);
+  EXPECT_TRUE(r.evicted.empty());
+  ASSERT_TRUE(r.rejected.has_value());
+  EXPECT_EQ(r.rejected->id, 2u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(QciQueue, EvictsMultipleToMakeRoom) {
+  QciQueue q{Bytes{1000}};
+  (void)q.enqueue(make_packet(1, 400, Qci::kQci9), kTimeZero);
+  (void)q.enqueue(make_packet(2, 400, Qci::kQci9), kTimeZero);
+  auto r = q.enqueue(make_packet(3, 900, Qci::kQci7), kTimeZero);
+  EXPECT_EQ(r.evicted.size(), 2u);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop()->packet.id, 3u);
+}
+
+TEST(QciQueue, OversizePacketRejectedEvenWhenEmpty) {
+  QciQueue q{Bytes{100}};
+  auto r = q.enqueue(make_packet(1, 500), kTimeZero);
+  ASSERT_TRUE(r.rejected.has_value());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(QciQueue, PeekDoesNotRemove) {
+  QciQueue q{Bytes{1000}};
+  (void)q.enqueue(make_packet(7, 100), kTimeZero);
+  ASSERT_NE(q.peek(), nullptr);
+  EXPECT_EQ(q.peek()->packet.id, 7u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(QciQueue, EnqueueRecordsTimestamp) {
+  QciQueue q{Bytes{1000}};
+  const TimePoint t = kTimeZero + std::chrono::seconds{42};
+  (void)q.enqueue(make_packet(1, 100), t);
+  EXPECT_EQ(q.peek()->enqueued, t);
+}
+
+TEST(QciQueue, FlushReturnsEverythingAndEmpties) {
+  QciQueue q{Bytes{10'000}};
+  (void)q.enqueue(make_packet(1, 100, Qci::kQci9), kTimeZero);
+  (void)q.enqueue(make_packet(2, 100, Qci::kQci7), kTimeZero);
+  (void)q.enqueue(make_packet(3, 100, Qci::kQci9), kTimeZero);
+  const auto flushed = q.flush();
+  EXPECT_EQ(flushed.size(), 3u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.used(), Bytes{0});
+}
+
+}  // namespace
+}  // namespace tlc::net

@@ -1,0 +1,159 @@
+#include "net/radio.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::net {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+TEST(RadioModel, GoodSignalStaysConnected) {
+  RadioConfig cfg;
+  cfg.base_rss = Dbm{-90.0};
+  cfg.dip_rate_per_s = 0.0;
+  RadioModel radio{cfg, Rng{1}};
+  for (int i = 0; i < 1000; ++i) {
+    const RadioState& s = radio.state_at(kTimeZero + milliseconds{i * 10});
+    EXPECT_TRUE(s.connected);
+    EXPECT_GT(s.rss.value(), cfg.disconnect_threshold.value());
+  }
+  EXPECT_EQ(radio.disconnected_time(), Duration::zero());
+}
+
+TEST(RadioModel, BaselineLossApplied) {
+  RadioConfig cfg;
+  cfg.base_rss = Dbm{-85.0};
+  cfg.baseline_loss = 0.25;
+  cfg.shadow_sigma_db = 0.0;
+  RadioModel radio{cfg, Rng{2}};
+  int lost = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (radio.transmission_lost(kTimeZero + milliseconds{i})) ++lost;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / n, 0.25, 0.02);
+}
+
+TEST(RadioModel, NoLossWithZeroBaselineAndStrongSignal) {
+  RadioConfig cfg;
+  cfg.base_rss = Dbm{-70.0};
+  cfg.baseline_loss = 0.0;
+  cfg.shadow_sigma_db = 0.1;
+  RadioModel radio{cfg, Rng{3}};
+  for (int i = 0; i < 5'000; ++i) {
+    EXPECT_FALSE(radio.transmission_lost(kTimeZero + milliseconds{i}));
+  }
+}
+
+TEST(RadioModel, WeakSignalIncreasesLoss) {
+  RadioConfig strong_cfg;
+  strong_cfg.base_rss = Dbm{-80.0};
+  strong_cfg.shadow_sigma_db = 0.0;
+  RadioConfig weak_cfg = strong_cfg;
+  weak_cfg.base_rss = Dbm{-110.0};  // between onset (−100) and cutoff (−115)
+
+  RadioModel strong{strong_cfg, Rng{4}};
+  RadioModel weak{weak_cfg, Rng{4}};
+  const RadioState& ss = strong.state_at(kTimeZero + seconds{1});
+  const RadioState& ws = weak.state_at(kTimeZero + seconds{1});
+  EXPECT_LT(ss.loss_probability, ws.loss_probability);
+  EXPECT_GT(ws.loss_probability, 0.1);
+}
+
+TEST(RadioModel, BelowThresholdIsDisconnected) {
+  RadioConfig cfg;
+  cfg.base_rss = Dbm{-130.0};
+  cfg.shadow_sigma_db = 0.0;
+  RadioModel radio{cfg, Rng{5}};
+  const RadioState& s = radio.state_at(kTimeZero + seconds{1});
+  EXPECT_FALSE(s.connected);
+  EXPECT_DOUBLE_EQ(s.loss_probability, 1.0);
+  EXPECT_TRUE(radio.transmission_lost(kTimeZero + seconds{1}));
+}
+
+TEST(RadioModel, DipsCauseDisconnections) {
+  RadioConfig cfg;
+  cfg.base_rss = Dbm{-92.0};
+  cfg.dip_rate_per_s = 0.2;  // frequent fades
+  cfg.dip_depth_db = 40.0;
+  RadioModel radio{cfg, Rng{6}};
+  (void)radio.state_at(kTimeZero + seconds{120});
+  // With λ=0.2/s over 120 s and ~1.9 s mean outages, expect several
+  // seconds of accumulated disconnection.
+  EXPECT_GT(to_seconds(radio.disconnected_time()), 5.0);
+  EXPECT_LT(to_seconds(radio.disconnected_time()), 100.0);
+}
+
+TEST(RadioModel, NoDipsMeansNoDisconnection) {
+  RadioConfig cfg;
+  cfg.base_rss = Dbm{-92.0};
+  cfg.dip_rate_per_s = 0.0;
+  RadioModel radio{cfg, Rng{7}};
+  (void)radio.state_at(kTimeZero + seconds{300});
+  EXPECT_EQ(radio.disconnected_time(), Duration::zero());
+}
+
+TEST(RadioModel, DipDurationCapped) {
+  RadioConfig cfg;
+  cfg.base_rss = Dbm{-92.0};
+  cfg.dip_rate_per_s = 0.01;
+  cfg.dip_duration_mean = seconds{2};
+  cfg.dip_duration_max = seconds{6};
+  RadioModel radio{cfg, Rng{8}};
+  // Track the longest continuous outage over a long horizon.
+  Duration longest = Duration::zero();
+  Duration current = Duration::zero();
+  for (int i = 0; i < 60'000; ++i) {
+    const RadioState& s = radio.state_at(kTimeZero + milliseconds{i * 10});
+    if (!s.connected) {
+      current += milliseconds{10};
+      longest = std::max(longest, current);
+    } else {
+      current = Duration::zero();
+    }
+  }
+  EXPECT_LE(longest, seconds{7});  // max + slot rounding
+}
+
+TEST(RadioModel, DeterministicForSameSeed) {
+  RadioConfig cfg;
+  cfg.dip_rate_per_s = 0.1;
+  RadioModel a{cfg, Rng{99}};
+  RadioModel b{cfg, Rng{99}};
+  for (int i = 0; i < 1'000; ++i) {
+    const TimePoint t = kTimeZero + milliseconds{i * 10};
+    EXPECT_EQ(a.state_at(t).rss.value(), b.state_at(t).rss.value());
+    EXPECT_EQ(a.state_at(t).connected, b.state_at(t).connected);
+  }
+}
+
+TEST(RadioModel, RejectsBackwardQueries) {
+  RadioModel radio{RadioConfig{}, Rng{1}};
+  (void)radio.state_at(kTimeZero + seconds{10});
+  EXPECT_THROW((void)radio.state_at(kTimeZero + seconds{1}),
+               std::logic_error);
+}
+
+TEST(RadioModel, RejectsBadConfig) {
+  RadioConfig cfg;
+  cfg.slot = Duration::zero();
+  EXPECT_THROW((RadioModel{cfg, Rng{1}}), std::invalid_argument);
+
+  RadioConfig cfg2;
+  cfg2.loss_onset = Dbm{-120.0};
+  cfg2.disconnect_threshold = Dbm{-115.0};
+  EXPECT_THROW((RadioModel{cfg2, Rng{1}}), std::invalid_argument);
+}
+
+TEST(RadioModel, DrawFollowsProbability) {
+  RadioModel radio{RadioConfig{}, Rng{123}};
+  int hits = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    if (radio.draw(0.5)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10'000.0, 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace tlc::net

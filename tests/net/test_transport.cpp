@@ -1,0 +1,139 @@
+#include "net/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tlc::net {
+namespace {
+
+using std::chrono::milliseconds;
+
+Packet frame(std::uint64_t seq, std::uint64_t size = 1000) {
+  Packet p;
+  p.app_seq = seq;
+  p.size = Bytes{size};
+  return p;
+}
+
+TEST(ArqSender, AckStopsRetransmission) {
+  sim::Scheduler sched;
+  std::vector<Packet> sent;
+  ArqSender arq{sched, ArqSender::Config{},
+                [&sent](Packet p) { sent.push_back(std::move(p)); }};
+  arq.send_frame(frame(1));
+  arq.on_ack(1);
+  sched.run();
+  EXPECT_EQ(sent.size(), 1u);
+  EXPECT_EQ(arq.retransmissions(), 0u);
+  EXPECT_EQ(arq.in_flight(), 0u);
+}
+
+TEST(ArqSender, TimeoutTriggersRetransmission) {
+  sim::Scheduler sched;
+  std::vector<Packet> sent;
+  ArqSender::Config cfg;
+  cfg.rto = milliseconds{100};
+  cfg.max_retries = 2;
+  ArqSender arq{sched, cfg,
+                [&](Packet p) {
+                  sent.push_back(p);
+                  if (sent.size() == 2) arq.on_ack(p.app_seq);
+                }};
+  arq.send_frame(frame(1));
+  sched.run();
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_FALSE(sent[0].is_retransmission);
+  EXPECT_TRUE(sent[1].is_retransmission);
+  EXPECT_EQ(arq.retransmissions(), 1u);
+}
+
+TEST(ArqSender, SpuriousRetransmissionOnDelayedAck) {
+  // The §3.1 cause-(4) scenario: the receiver got the frame, the ack was
+  // merely slow — the duplicate transmission is pure over-charge.
+  sim::Scheduler sched;
+  std::vector<Packet> sent;
+  ArqSender::Config cfg;
+  cfg.rto = milliseconds{100};
+  ArqSender arq{sched, cfg, [&](Packet p) { sent.push_back(std::move(p)); }};
+  arq.send_frame(frame(1));
+  // The ack arrives after the RTO fired once.
+  sched.schedule_at(kTimeZero + milliseconds{150}, [&] { arq.on_ack(1); });
+  sched.run();
+  EXPECT_EQ(sent.size(), 2u);  // original + spurious copy
+  EXPECT_EQ(arq.retransmissions(), 1u);
+  EXPECT_EQ(arq.in_flight(), 0u);
+  EXPECT_EQ(arq.abandoned(), 0u);
+}
+
+TEST(ArqSender, GivesUpAfterMaxRetries) {
+  sim::Scheduler sched;
+  int give_ups = 0;
+  std::vector<Packet> sent;
+  ArqSender::Config cfg;
+  cfg.rto = milliseconds{50};
+  cfg.max_retries = 3;
+  ArqSender arq{sched, cfg, [&](Packet p) { sent.push_back(std::move(p)); },
+                [&](std::uint64_t) { ++give_ups; }};
+  arq.send_frame(frame(1));
+  sched.run();
+  EXPECT_EQ(sent.size(), 4u);  // 1 original + 3 retries
+  EXPECT_EQ(give_ups, 1);
+  EXPECT_EQ(arq.abandoned(), 1u);
+  EXPECT_EQ(arq.in_flight(), 0u);
+}
+
+TEST(ArqSender, LateAckAfterAbandonIsIgnored) {
+  sim::Scheduler sched;
+  ArqSender::Config cfg;
+  cfg.rto = milliseconds{10};
+  cfg.max_retries = 0;
+  ArqSender arq{sched, cfg, [](Packet) {}};
+  arq.send_frame(frame(1));
+  sched.run();
+  EXPECT_EQ(arq.abandoned(), 1u);
+  arq.on_ack(1);  // must not crash or underflow
+  EXPECT_EQ(arq.in_flight(), 0u);
+}
+
+TEST(ArqSender, MultipleFramesIndependent) {
+  sim::Scheduler sched;
+  std::vector<Packet> sent;
+  ArqSender::Config cfg;
+  cfg.rto = milliseconds{100};
+  ArqSender arq{sched, cfg, [&](Packet p) { sent.push_back(std::move(p)); }};
+  arq.send_frame(frame(1));
+  arq.send_frame(frame(2));
+  arq.on_ack(1);
+  sched.schedule_at(kTimeZero + milliseconds{150}, [&] { arq.on_ack(2); });
+  sched.run();
+  // Frame 1: 1 tx. Frame 2: original + 1 spurious retx.
+  EXPECT_EQ(sent.size(), 3u);
+}
+
+TEST(ArqSender, DuplicateSeqThrows) {
+  sim::Scheduler sched;
+  ArqSender arq{sched, ArqSender::Config{}, [](Packet) {}};
+  arq.send_frame(frame(1));
+  EXPECT_THROW(arq.send_frame(frame(1)), std::logic_error);
+}
+
+TEST(ArqSender, RequiresSendCallback) {
+  sim::Scheduler sched;
+  EXPECT_THROW((ArqSender{sched, ArqSender::Config{}, nullptr}),
+               std::invalid_argument);
+}
+
+TEST(ArqSender, TransmissionCounterIncludesRetries) {
+  sim::Scheduler sched;
+  ArqSender::Config cfg;
+  cfg.rto = milliseconds{10};
+  cfg.max_retries = 2;
+  ArqSender arq{sched, cfg, [](Packet) {}};
+  arq.send_frame(frame(5));
+  sched.run();
+  EXPECT_EQ(arq.transmissions(), 3u);  // 1 + 2 retries
+}
+
+}  // namespace
+}  // namespace tlc::net

@@ -1,0 +1,64 @@
+#include "sim/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::sim {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+TEST(NodeClock, DefaultIsPerfect) {
+  NodeClock c;
+  const TimePoint t = kTimeZero + seconds{100};
+  EXPECT_EQ(c.local_time(t), t);
+  EXPECT_EQ(c.true_time(t), t);
+}
+
+TEST(NodeClock, PositiveOffsetRunsAhead) {
+  NodeClock c{seconds{2}, 0.0};
+  const TimePoint t = kTimeZero + seconds{10};
+  EXPECT_EQ(c.local_time(t), kTimeZero + seconds{12});
+}
+
+TEST(NodeClock, NegativeOffsetRunsBehind) {
+  NodeClock c{-seconds{3}, 0.0};
+  const TimePoint t = kTimeZero + seconds{10};
+  EXPECT_EQ(c.local_time(t), kTimeZero + seconds{7});
+}
+
+TEST(NodeClock, DriftAccumulates) {
+  NodeClock c{Duration::zero(), 100.0};  // 100 ppm
+  const TimePoint t = kTimeZero + seconds{10'000};
+  // 10000 s × 100 ppm = 1 s fast.
+  const Duration skew = c.local_time(t) - t;
+  EXPECT_NEAR(to_seconds(skew), 1.0, 1e-6);
+}
+
+TEST(NodeClock, TrueTimeInvertsLocalTime) {
+  NodeClock c{milliseconds{1'500}, 42.0};
+  const TimePoint t = kTimeZero + seconds{12'345};
+  const TimePoint local = c.local_time(t);
+  const TimePoint recovered = c.true_time(local);
+  EXPECT_NEAR(to_seconds(recovered - t), 0.0, 1e-6);
+}
+
+TEST(NodeClock, ResyncClearsOffsetAndDrift) {
+  NodeClock c{seconds{5}, 200.0};
+  c.resync(milliseconds{10});
+  EXPECT_EQ(c.offset(), milliseconds{10});
+  EXPECT_DOUBLE_EQ(c.drift_ppm(), 0.0);
+  const TimePoint t = kTimeZero + seconds{1'000};
+  EXPECT_EQ(c.local_time(t), t + milliseconds{10});
+}
+
+TEST(NodeClock, TwoPartiesDisagreeOnCycleBoundaries) {
+  // The root cause of Fig. 18: the same true instant reads differently.
+  NodeClock edge{seconds{1}, 0.0};
+  NodeClock op{-seconds{1}, 0.0};
+  const TimePoint t = kTimeZero + seconds{3'600};
+  EXPECT_EQ(edge.local_time(t) - op.local_time(t), seconds{2});
+}
+
+}  // namespace
+}  // namespace tlc::sim

@@ -1,0 +1,147 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tlc::sim {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+TEST(Scheduler, StartsAtZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), kTimeZero);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Scheduler, DispatchesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(kTimeZero + seconds{3}, [&] { order.push_back(3); });
+  s.schedule_at(kTimeZero + seconds{1}, [&] { order.push_back(1); });
+  s.schedule_at(kTimeZero + seconds{2}, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), kTimeZero + seconds{3});
+}
+
+TEST(Scheduler, TiesBreakFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(kTimeZero + seconds{1}, [&, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, ScheduleAfterUsesCurrentTime) {
+  Scheduler s;
+  TimePoint fired = kTimeZero;
+  s.schedule_after(seconds{5}, [&] {
+    s.schedule_after(seconds{2}, [&] { fired = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired, kTimeZero + seconds{7});
+}
+
+TEST(Scheduler, PastSchedulingThrows) {
+  Scheduler s;
+  s.schedule_at(kTimeZero + seconds{10}, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(kTimeZero + seconds{5}, [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(s.schedule_after(seconds{-1}, [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, CancelPreventsDispatch) {
+  Scheduler s;
+  bool fired = false;
+  const EventId id = s.schedule_after(seconds{1}, [&] { fired = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelOneOfMany) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_after(seconds{1}, [&] { ++count; });
+  const EventId id = s.schedule_after(seconds{2}, [&] { ++count; });
+  s.schedule_after(seconds{3}, [&] { ++count; });
+  s.cancel(id);
+  s.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Scheduler, CancelUnknownIsNoop) {
+  Scheduler s;
+  s.cancel(9999);
+  bool fired = false;
+  s.schedule_after(seconds{1}, [&] { fired = true; });
+  s.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_after(seconds{1}, [&] { ++count; });
+  s.schedule_after(seconds{5}, [&] { ++count; });
+  const auto dispatched = s.run_until(kTimeZero + seconds{3});
+  EXPECT_EQ(dispatched, 1u);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(s.now(), kTimeZero + seconds{3});  // advanced to deadline
+  EXPECT_EQ(s.pending_events(), 1u);
+}
+
+TEST(Scheduler, RunUntilThenContinue) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_after(seconds{10}, [&] { ++count; });
+  s.run_until(kTimeZero + seconds{5});
+  EXPECT_EQ(count, 0);
+  s.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) s.schedule_after(milliseconds{1}, recurse);
+  };
+  s.schedule_after(milliseconds{1}, recurse);
+  s.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.now(), kTimeZero + milliseconds{100});
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler s;
+  EXPECT_FALSE(s.step());
+  s.schedule_after(seconds{1}, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, RunReturnsDispatchCount) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.schedule_after(seconds{i + 1}, [] {});
+  EXPECT_EQ(s.run(), 7u);
+}
+
+TEST(Scheduler, SameTimeAsNowIsAllowed) {
+  Scheduler s;
+  bool inner = false;
+  s.schedule_after(seconds{1}, [&] {
+    s.schedule_after(Duration::zero(), [&] { inner = true; });
+  });
+  s.run();
+  EXPECT_TRUE(inner);
+}
+
+}  // namespace
+}  // namespace tlc::sim

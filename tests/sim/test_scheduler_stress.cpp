@@ -1,0 +1,88 @@
+// Scheduler stress and timing-precision tests: the evaluation pushes
+// millions of events per run, so ordering and cancellation must stay
+// correct at scale.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace tlc::sim {
+namespace {
+
+TEST(SchedulerStress, MillionEventsDispatchInOrder) {
+  Scheduler s;
+  Rng rng{1};
+  const int n = 1'000'000;
+  std::vector<TimePoint> fire_times;
+  fire_times.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const TimePoint when =
+        kTimeZero + Duration{static_cast<std::int64_t>(rng.uniform_int(
+                        0, 3'600'000'000'000ull))};
+    s.schedule_at(when, [&fire_times, &s] { fire_times.push_back(s.now()); });
+  }
+  EXPECT_EQ(s.run(), static_cast<std::uint64_t>(n));
+  EXPECT_TRUE(std::is_sorted(fire_times.begin(), fire_times.end()));
+  EXPECT_EQ(fire_times.size(), static_cast<std::size_t>(n));
+}
+
+TEST(SchedulerStress, ManyCancellationsInterleaved) {
+  Scheduler s;
+  Rng rng{2};
+  int fired = 0;
+  std::vector<EventId> ids;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    ids.push_back(s.schedule_after(
+        Duration{static_cast<std::int64_t>(rng.uniform_int(1, 1'000'000))},
+        [&fired] { ++fired; }));
+  }
+  int cancelled = 0;
+  for (int i = 0; i < n; i += 2) {
+    s.cancel(ids[static_cast<std::size_t>(i)]);
+    ++cancelled;
+  }
+  s.run();
+  EXPECT_EQ(fired, n - cancelled);
+}
+
+TEST(SchedulerStress, NanosecondPrecisionOrdering) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(kTimeZero + Duration{2}, [&] { order.push_back(2); });
+  s.schedule_at(kTimeZero + Duration{1}, [&] { order.push_back(1); });
+  s.schedule_at(kTimeZero + Duration{3}, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerStress, DeepRecursiveChains) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 50'000) s.schedule_after(Duration{1}, chain);
+  };
+  s.schedule_after(Duration{1}, chain);
+  s.run();
+  EXPECT_EQ(depth, 50'000);
+}
+
+TEST(SchedulerStress, RunUntilBoundaryExactness) {
+  Scheduler s;
+  int at_boundary = 0;
+  int after_boundary = 0;
+  const TimePoint boundary = kTimeZero + std::chrono::seconds{10};
+  s.schedule_at(boundary, [&] { ++at_boundary; });
+  s.schedule_at(boundary + Duration{1}, [&] { ++after_boundary; });
+  s.run_until(boundary);
+  EXPECT_EQ(at_boundary, 1);  // inclusive of the deadline
+  EXPECT_EQ(after_boundary, 0);
+  s.run();
+  EXPECT_EQ(after_boundary, 1);
+}
+
+}  // namespace
+}  // namespace tlc::sim

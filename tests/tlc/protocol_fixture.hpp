@@ -1,0 +1,86 @@
+// Shared fixture: cached RSA keys (generation dominates test runtime) and
+// canonical party configurations for protocol/verifier tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "tlc/protocol.hpp"
+#include "tlc/verifier.hpp"
+
+namespace tlc::core::testing {
+
+class ProtocolFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    if (edge_keys_ == nullptr) {
+      edge_keys_ =
+          new crypto::KeyPair{crypto::KeyPair::generate(
+              crypto::KeyStrength::kRsa1024)};
+      operator_keys_ =
+          new crypto::KeyPair{crypto::KeyPair::generate(
+              crypto::KeyStrength::kRsa1024)};
+      intruder_keys_ =
+          new crypto::KeyPair{crypto::KeyPair::generate(
+              crypto::KeyStrength::kRsa1024)};
+    }
+  }
+
+  static const crypto::KeyPair& edge_keys() { return *edge_keys_; }
+  static const crypto::KeyPair& operator_keys() { return *operator_keys_; }
+  static const crypto::KeyPair& intruder_keys() { return *intruder_keys_; }
+
+  static charging::DataPlan plan() {
+    charging::DataPlan p;
+    p.loss_weight = 0.5;
+    p.cycle_length = std::chrono::seconds{300};
+    return p;
+  }
+
+  static charging::ChargingCycle cycle(std::uint64_t index = 3) {
+    return plan().cycle_at(kTimeZero +
+                           plan().cycle_length * static_cast<std::int64_t>(
+                                                     index));
+  }
+
+  static ProtocolParty::Config edge_config(LocalView view) {
+    ProtocolParty::Config cfg;
+    cfg.role = PartyRole::kEdgeVendor;
+    cfg.plan = plan();
+    cfg.cycle = cycle();
+    cfg.direction = charging::Direction::kUplink;
+    cfg.view = view;
+    return cfg;
+  }
+
+  static ProtocolParty::Config operator_config(LocalView view) {
+    ProtocolParty::Config cfg = edge_config(view);
+    cfg.role = PartyRole::kCellularOperator;
+    return cfg;
+  }
+
+  /// Builds a finished, valid PoC (operator-initiated, both optimal).
+  static PocMsg make_valid_poc(LocalView edge_view, LocalView op_view,
+                               std::uint64_t seed = 11) {
+    const auto edge_strategy = make_optimal_edge();
+    const auto op_strategy = make_optimal_operator();
+    ProtocolParty edge{edge_config(edge_view), *edge_strategy, edge_keys(),
+                       operator_keys().public_key(), Rng{seed}};
+    ProtocolParty op{operator_config(op_view), *op_strategy, operator_keys(),
+                     edge_keys().public_key(), Rng{seed + 1}};
+    run_exchange(op, edge);
+    EXPECT_EQ(op.state(), ProtocolState::kDone);
+    EXPECT_TRUE(op.poc().has_value());
+    return *op.poc();
+  }
+
+ private:
+  static crypto::KeyPair* edge_keys_;
+  static crypto::KeyPair* operator_keys_;
+  static crypto::KeyPair* intruder_keys_;
+};
+
+inline crypto::KeyPair* ProtocolFixture::edge_keys_ = nullptr;
+inline crypto::KeyPair* ProtocolFixture::operator_keys_ = nullptr;
+inline crypto::KeyPair* ProtocolFixture::intruder_keys_ = nullptr;
+
+}  // namespace tlc::core::testing

@@ -1,0 +1,123 @@
+#include "tlc/multi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tlc/protocol_fixture.hpp"
+
+namespace tlc::core {
+namespace {
+
+class MultiTest : public testing::ProtocolFixture {
+ protected:
+  static void SetUpTestSuite() {
+    ProtocolFixture::SetUpTestSuite();
+    if (op_b_keys_ == nullptr) {
+      op_b_keys_ = new crypto::KeyPair{
+          crypto::KeyPair::generate(crypto::KeyStrength::kRsa1024)};
+    }
+  }
+  static const crypto::KeyPair& op_b_keys() { return *op_b_keys_; }
+
+  MultiOperatorSession make_session() {
+    MultiOperatorSession session{edge_keys(), Rng{42}};
+    session.add_operator(
+        {"operator-A", plan(), operator_keys().public_key()});
+    session.add_operator({"operator-B", plan(), op_b_keys().public_key()});
+    return session;
+  }
+
+  /// Drives a full exchange for one operator given its keys and view.
+  void settle(MultiOperatorSession& session, const std::string& name,
+              const crypto::KeyPair& op_keys, LocalView op_view) {
+    const auto op_strategy = make_optimal_operator();
+    ProtocolParty op{operator_config(op_view), *op_strategy, op_keys,
+                     edge_keys().public_key(), Rng{7}};
+    ProtocolParty edge = session.make_party(name);
+    run_exchange(edge, op);
+    session.record_settlement(name, edge);
+  }
+
+ private:
+  static crypto::KeyPair* op_b_keys_;
+};
+
+crypto::KeyPair* MultiTest::op_b_keys_ = nullptr;
+
+TEST_F(MultiTest, RejectsBadSetup) {
+  EXPECT_THROW((MultiOperatorSession{crypto::KeyPair{}, Rng{1}}),
+               std::invalid_argument);
+  MultiOperatorSession session{edge_keys(), Rng{1}};
+  EXPECT_THROW(session.add_operator({"", plan(), operator_keys().public_key()}),
+               std::invalid_argument);
+  EXPECT_THROW(session.add_operator({"x", plan(), crypto::PublicKey{}}),
+               std::invalid_argument);
+  session.add_operator({"a", plan(), operator_keys().public_key()});
+  EXPECT_THROW(
+      session.add_operator({"a", plan(), operator_keys().public_key()}),
+      std::invalid_argument);
+}
+
+TEST_F(MultiTest, MakePartyRequiresView) {
+  MultiOperatorSession session = make_session();
+  EXPECT_THROW((void)session.make_party("operator-A"), std::logic_error);
+  EXPECT_THROW((void)session.make_party("nope"), std::invalid_argument);
+}
+
+TEST_F(MultiTest, PerOperatorNegotiationsAreIndependent) {
+  MultiOperatorSession session = make_session();
+  const LocalView via_a{Bytes{600'000'000}, Bytes{560'000'000}};
+  const LocalView via_b{Bytes{200'000'000}, Bytes{190'000'000}};
+  session.set_cycle_view("operator-A", cycle(), via_a,
+                         charging::Direction::kUplink);
+  session.set_cycle_view("operator-B", cycle(), via_b,
+                         charging::Direction::kUplink);
+
+  settle(session, "operator-A", operator_keys(), via_a);
+  settle(session, "operator-B", op_b_keys(), via_b);
+
+  ASSERT_EQ(session.settlements().size(), 2u);
+  for (const auto& s : session.settlements()) {
+    EXPECT_TRUE(s.converged);
+    EXPECT_EQ(s.rounds, 1);
+    ASSERT_TRUE(s.poc.has_value());
+  }
+  // x̂_A = 580 MB, x̂_B = 195 MB at c = 0.5.
+  EXPECT_EQ(session.settlements()[0].charged, Bytes{580'000'000});
+  EXPECT_EQ(session.settlements()[1].charged, Bytes{195'000'000});
+  EXPECT_EQ(session.total_charged(), Bytes{775'000'000});
+}
+
+TEST_F(MultiTest, PocsVerifyUnderTheRightOperatorKeyOnly) {
+  MultiOperatorSession session = make_session();
+  const LocalView view{Bytes{100'000'000}, Bytes{95'000'000}};
+  session.set_cycle_view("operator-A", cycle(), view,
+                         charging::Direction::kUplink);
+  settle(session, "operator-A", operator_keys(), view);
+  const PocMsg& poc = *session.settlements()[0].poc;
+
+  PublicVerifier right{edge_keys().public_key(),
+                       operator_keys().public_key(), plan()};
+  EXPECT_EQ(right.verify(poc.encode()), VerifyResult::kOk);
+
+  PublicVerifier wrong{edge_keys().public_key(), op_b_keys().public_key(),
+                       plan()};
+  EXPECT_NE(wrong.verify(poc.encode()), VerifyResult::kOk);
+}
+
+TEST_F(MultiTest, FailedOperatorDoesNotPolluteTotal) {
+  MultiOperatorSession session = make_session();
+  const LocalView view{Bytes{100'000'000}, Bytes{95'000'000}};
+  session.set_cycle_view("operator-A", cycle(), view,
+                         charging::Direction::kUplink);
+  session.set_cycle_view("operator-B", cycle(), view,
+                         charging::Direction::kUplink);
+  settle(session, "operator-A", operator_keys(), view);
+  // Operator B talks with the WRONG key: signature check fails, no PoC.
+  settle(session, "operator-B", operator_keys(), view);
+  EXPECT_TRUE(session.settlements()[0].converged);
+  EXPECT_FALSE(session.settlements()[1].converged);
+  EXPECT_EQ(session.total_charged(), session.settlements()[0].charged);
+}
+
+}  // namespace
+}  // namespace tlc::core

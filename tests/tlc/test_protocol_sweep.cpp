@@ -1,0 +1,133 @@
+// Parameterized end-to-end protocol sweeps: the signed exchange + public
+// verification must work for every plan weight, either initiator, both
+// key strengths, and a range of traffic volumes.
+#include <gtest/gtest.h>
+
+#include "charging/usage.hpp"
+#include "tlc/protocol_fixture.hpp"
+
+namespace tlc::core {
+namespace {
+
+class PlanWeightSweep : public testing::ProtocolFixture,
+                        public ::testing::WithParamInterface<double> {};
+
+TEST_P(PlanWeightSweep, ExchangeAndVerifyAtEveryC) {
+  const double c = GetParam();
+  charging::DataPlan swept_plan = plan();
+  swept_plan.loss_weight = c;
+  const LocalView view{Bytes{500'000'000}, Bytes{470'000'000}};
+
+  const auto es = make_optimal_edge();
+  const auto os = make_optimal_operator();
+  ProtocolParty::Config cfg_e = edge_config(view);
+  cfg_e.plan = swept_plan;
+  ProtocolParty::Config cfg_o = operator_config(view);
+  cfg_o.plan = swept_plan;
+  ProtocolParty edge{cfg_e, *es, edge_keys(), operator_keys().public_key(),
+                     Rng{1}};
+  ProtocolParty op{cfg_o, *os, operator_keys(), edge_keys().public_key(),
+                   Rng{2}};
+  run_exchange(op, edge);
+  ASSERT_EQ(op.state(), ProtocolState::kDone);
+  EXPECT_EQ(op.charged(),
+            charging::charged_volume(Bytes{500'000'000}, Bytes{470'000'000},
+                                     c));
+
+  PublicVerifier verifier{edge_keys().public_key(),
+                          operator_keys().public_key(), swept_plan};
+  EXPECT_EQ(verifier.verify(op.poc()->encode()), VerifyResult::kOk);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWeights, PlanWeightSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           1.0));
+
+class VolumeSweep : public testing::ProtocolFixture,
+                    public ::testing::WithParamInterface<std::uint64_t> {};
+
+TEST_P(VolumeSweep, ExchangeHandlesVolumeRange) {
+  const std::uint64_t sent = GetParam();
+  const std::uint64_t received =
+      sent - std::min<std::uint64_t>(sent / 10, sent);
+  const LocalView view{Bytes{sent}, Bytes{received}};
+  const auto es = make_optimal_edge();
+  const auto os = make_optimal_operator();
+  ProtocolParty edge{edge_config(view), *es, edge_keys(),
+                     operator_keys().public_key(), Rng{1}};
+  ProtocolParty op{operator_config(view), *os, operator_keys(),
+                   edge_keys().public_key(), Rng{2}};
+  run_exchange(op, edge);
+  ASSERT_EQ(op.state(), ProtocolState::kDone);
+  EXPECT_EQ(op.charged(),
+            charging::charged_volume(Bytes{sent}, Bytes{received}, 0.5));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Volumes, VolumeSweep,
+    ::testing::Values(0ull,                      // idle cycle
+                      1ull,                      // single byte
+                      9'000'000ull,              // gaming-scale
+                      4'050'000'000ull,          // VR hour
+                      500'000'000'000ull));      // data-center scale
+
+TEST(KeyStrengthMix, Rsa2048ExchangeWorks) {
+  const auto edge_keys =
+      crypto::KeyPair::generate(crypto::KeyStrength::kRsa2048);
+  const auto op_keys =
+      crypto::KeyPair::generate(crypto::KeyStrength::kRsa2048);
+  charging::DataPlan plan;
+  plan.cycle_length = std::chrono::seconds{300};
+  const LocalView view{Bytes{1'000'000}, Bytes{900'000}};
+  const auto es = make_optimal_edge();
+  const auto os = make_optimal_operator();
+  ProtocolParty::Config cfg_e;
+  cfg_e.role = PartyRole::kEdgeVendor;
+  cfg_e.plan = plan;
+  cfg_e.cycle = plan.cycle_at(kTimeZero);
+  cfg_e.view = view;
+  ProtocolParty::Config cfg_o = cfg_e;
+  cfg_o.role = PartyRole::kCellularOperator;
+  ProtocolParty edge{cfg_e, *es, edge_keys, op_keys.public_key(), Rng{1}};
+  ProtocolParty op{cfg_o, *os, op_keys, edge_keys.public_key(), Rng{2}};
+  run_exchange(op, edge);
+  ASSERT_EQ(op.state(), ProtocolState::kDone);
+
+  // Larger signatures, larger messages — structure unchanged.
+  const std::size_t poc_size = op.poc()->encode().size();
+  EXPECT_GT(poc_size, 900u);  // 3 × 256-byte signatures dominate
+
+  PublicVerifier verifier{edge_keys.public_key(), op_keys.public_key(),
+                          plan};
+  EXPECT_EQ(verifier.verify(op.poc()->encode()), VerifyResult::kOk);
+}
+
+TEST(KeyStrengthMix, MixedStrengthsAlsoWork) {
+  // Parties need not use the same modulus size.
+  const auto edge_keys =
+      crypto::KeyPair::generate(crypto::KeyStrength::kRsa1024);
+  const auto op_keys =
+      crypto::KeyPair::generate(crypto::KeyStrength::kRsa2048);
+  charging::DataPlan plan;
+  plan.cycle_length = std::chrono::seconds{300};
+  const LocalView view{Bytes{1'000'000}, Bytes{900'000}};
+  const auto es = make_honest_edge();
+  const auto os = make_honest_operator();
+  ProtocolParty::Config cfg_e;
+  cfg_e.role = PartyRole::kEdgeVendor;
+  cfg_e.plan = plan;
+  cfg_e.cycle = plan.cycle_at(kTimeZero);
+  cfg_e.view = view;
+  ProtocolParty::Config cfg_o = cfg_e;
+  cfg_o.role = PartyRole::kCellularOperator;
+  ProtocolParty edge{cfg_e, *es, edge_keys, op_keys.public_key(), Rng{1}};
+  ProtocolParty op{cfg_o, *os, op_keys, edge_keys.public_key(), Rng{2}};
+  run_exchange(edge, op);  // edge initiates this time
+  ASSERT_EQ(edge.state(), ProtocolState::kDone);
+  PublicVerifier verifier{edge_keys.public_key(), op_keys.public_key(),
+                          plan};
+  EXPECT_EQ(verifier.verify(edge.poc()->encode()), VerifyResult::kOk);
+}
+
+}  // namespace
+}  // namespace tlc::core

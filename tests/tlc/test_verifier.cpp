@@ -1,0 +1,156 @@
+#include "tlc/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tlc/protocol_fixture.hpp"
+
+namespace tlc::core {
+namespace {
+
+class VerifierTest : public testing::ProtocolFixture {
+ protected:
+  static constexpr LocalView kTruth{Bytes{1'000'000}, Bytes{920'000}};
+
+  PublicVerifier make_verifier() {
+    return PublicVerifier{edge_keys().public_key(),
+                          operator_keys().public_key(), plan()};
+  }
+};
+
+TEST_F(VerifierTest, AcceptsValidPoc) {
+  const PocMsg poc = make_valid_poc(kTruth, kTruth);
+  PublicVerifier verifier = make_verifier();
+  VerifiedCharge out;
+  EXPECT_EQ(verifier.verify(poc.encode(), &out), VerifyResult::kOk);
+  EXPECT_EQ(out.charged, Bytes{960'000});  // x̂ at c = 0.5
+  EXPECT_EQ(out.edge_claim, Bytes{920'000});
+  EXPECT_EQ(out.operator_claim, Bytes{1'000'000});
+  EXPECT_EQ(out.cycle_index, 3u);
+  EXPECT_EQ(out.round, 1);
+  EXPECT_EQ(verifier.accepted(), 1u);
+}
+
+TEST_F(VerifierTest, RejectsMalformedBytes) {
+  PublicVerifier verifier = make_verifier();
+  const ByteVec garbage{1, 2, 3};
+  EXPECT_EQ(verifier.verify(garbage), VerifyResult::kMalformed);
+  EXPECT_EQ(verifier.rejected(), 1u);
+}
+
+TEST_F(VerifierTest, RejectsTamperedCharge) {
+  PocMsg poc = make_valid_poc(kTruth, kTruth);
+  poc.charged = Bytes{1};  // breaks the outer signature
+  PublicVerifier verifier = make_verifier();
+  EXPECT_EQ(verifier.verify(poc.encode()), VerifyResult::kBadPocSignature);
+}
+
+TEST_F(VerifierTest, RejectsResignedTamperedCharge) {
+  // A selfish operator rewrites x and re-signs the PoC with its own key —
+  // the signature is fine, but the recomputation (Algorithm 2 line 8)
+  // catches the mismatch against the dual-signed claims.
+  PocMsg poc = make_valid_poc(kTruth, kTruth);
+  poc.charged = Bytes{2'000'000};
+  poc.sign(operator_keys());
+  PublicVerifier verifier = make_verifier();
+  EXPECT_EQ(verifier.verify(poc.encode()), VerifyResult::kChargeMismatch);
+}
+
+TEST_F(VerifierTest, RejectsForgedPocFromIntruder) {
+  PocMsg poc = make_valid_poc(kTruth, kTruth);
+  poc.charged = Bytes{5};
+  poc.sign(intruder_keys());  // signed by neither registered party
+  PublicVerifier verifier = make_verifier();
+  EXPECT_EQ(verifier.verify(poc.encode()), VerifyResult::kBadPocSignature);
+}
+
+TEST_F(VerifierTest, RejectsSwappedKeys) {
+  const PocMsg poc = make_valid_poc(kTruth, kTruth);
+  PublicVerifier verifier{operator_keys().public_key(),
+                          edge_keys().public_key(), plan()};
+  EXPECT_NE(verifier.verify(poc.encode()), VerifyResult::kOk);
+}
+
+TEST_F(VerifierTest, RejectsPlanMismatch) {
+  const PocMsg poc = make_valid_poc(kTruth, kTruth);
+  charging::DataPlan other = plan();
+  other.loss_weight = 0.25;
+  PublicVerifier verifier{edge_keys().public_key(),
+                          operator_keys().public_key(), other};
+  EXPECT_EQ(verifier.verify(poc.encode()), VerifyResult::kPlanMismatch);
+}
+
+TEST_F(VerifierTest, RejectsCycleLengthMismatch) {
+  const PocMsg poc = make_valid_poc(kTruth, kTruth);
+  charging::DataPlan other = plan();
+  other.cycle_length = std::chrono::hours{1};
+  PublicVerifier verifier{edge_keys().public_key(),
+                          operator_keys().public_key(), other};
+  EXPECT_EQ(verifier.verify(poc.encode()), VerifyResult::kPlanMismatch);
+}
+
+TEST_F(VerifierTest, RejectsNonceTampering) {
+  PocMsg poc = make_valid_poc(kTruth, kTruth);
+  poc.nonce_edge[0] ^= 0x01;  // trailing nonces are outside the signature
+  PublicVerifier verifier = make_verifier();
+  EXPECT_EQ(verifier.verify(poc.encode()), VerifyResult::kNonceMismatch);
+}
+
+TEST_F(VerifierTest, DetectsReplayedPoc) {
+  const PocMsg poc = make_valid_poc(kTruth, kTruth);
+  PublicVerifier verifier = make_verifier();
+  EXPECT_EQ(verifier.verify(poc.encode()), VerifyResult::kOk);
+  EXPECT_EQ(verifier.verify(poc.encode()), VerifyResult::kReplayed);
+  EXPECT_EQ(verifier.accepted(), 1u);
+  EXPECT_EQ(verifier.rejected(), 1u);
+}
+
+TEST_F(VerifierTest, DistinctNegotiationsBothAccepted) {
+  const PocMsg poc1 = make_valid_poc(kTruth, kTruth, 100);
+  const PocMsg poc2 = make_valid_poc(kTruth, kTruth, 200);
+  PublicVerifier verifier = make_verifier();
+  EXPECT_EQ(verifier.verify(poc1.encode()), VerifyResult::kOk);
+  EXPECT_EQ(verifier.verify(poc2.encode()), VerifyResult::kOk);
+  EXPECT_EQ(verifier.accepted(), 2u);
+}
+
+TEST_F(VerifierTest, EdgeInitiatedPocAlsoVerifies) {
+  // When the edge initiates, the operator sends the CDA and the edge
+  // constructs the PoC — roles inside the proof flip.
+  const auto es = make_optimal_edge();
+  const auto os = make_optimal_operator();
+  ProtocolParty edge{edge_config(kTruth), *es, edge_keys(),
+                     operator_keys().public_key(), Rng{31}};
+  ProtocolParty op{operator_config(kTruth), *os, operator_keys(),
+                   edge_keys().public_key(), Rng{32}};
+  run_exchange(edge, op);
+  ASSERT_TRUE(edge.poc().has_value());
+  PublicVerifier verifier = make_verifier();
+  EXPECT_EQ(verifier.verify(edge.poc()->encode()), VerifyResult::kOk);
+}
+
+TEST_F(VerifierTest, MultiRoundPocVerifies) {
+  // A PoC produced after random-strategy re-claims is equally valid.
+  const auto es = make_random_edge(0.5);
+  const auto os = make_random_operator(0.5);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    ProtocolParty edge{edge_config(kTruth), *es, edge_keys(),
+                       operator_keys().public_key(), Rng{seed}};
+    ProtocolParty op{operator_config(kTruth), *os, operator_keys(),
+                     edge_keys().public_key(), Rng{seed + 77}};
+    run_exchange(op, edge);
+    ASSERT_EQ(op.state(), ProtocolState::kDone) << "seed " << seed;
+    PublicVerifier verifier = make_verifier();
+    VerifiedCharge out;
+    EXPECT_EQ(verifier.verify(op.poc()->encode(), &out), VerifyResult::kOk);
+    EXPECT_EQ(out.round, op.rounds());
+  }
+}
+
+TEST_F(VerifierTest, ResultStringsAreDistinct) {
+  EXPECT_STREQ(to_string(VerifyResult::kOk), "ok");
+  EXPECT_STREQ(to_string(VerifyResult::kReplayed), "replayed");
+  EXPECT_STREQ(to_string(VerifyResult::kChargeMismatch), "charge-mismatch");
+}
+
+}  // namespace
+}  // namespace tlc::core

@@ -1,0 +1,79 @@
+#include "wire/legacy_cdr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wire/codec.hpp"
+
+namespace tlc::wire {
+namespace {
+
+LegacyCdr sample_cdr() {
+  LegacyCdr cdr;
+  cdr.served_imsi = {0x00, 0x01, 0x11, 0x32, 0x54, 0x76, 0x48, 0xf5};
+  cdr.gateway_address = (192u << 24) | (168u << 16) | (2u << 8) | 11u;
+  cdr.charging_id = 0;
+  cdr.sequence_number = 1001;
+  cdr.time_of_first_usage = 1546845226;  // 2019-01-07 07:13:46 UTC
+  cdr.time_of_last_usage = 1546848826;   // +3600 s
+  cdr.uplink_volume = Bytes{274'944};    // multiple of 256 (volume blocks)
+  cdr.downlink_volume = Bytes{33'604'096};
+  return cdr;
+}
+
+TEST(LegacyCdr, EncodedSizeIsExactly34Bytes) {
+  // The paper's Fig. 17 baseline: "LTE CDR: 34 bytes".
+  EXPECT_EQ(encode_legacy_cdr(sample_cdr()).size(), kLegacyCdrSize);
+  EXPECT_EQ(kLegacyCdrSize, 34u);
+}
+
+TEST(LegacyCdr, RoundTrip) {
+  const LegacyCdr cdr = sample_cdr();
+  EXPECT_EQ(decode_legacy_cdr(encode_legacy_cdr(cdr)), cdr);
+}
+
+TEST(LegacyCdr, VolumesQuantizedTo256ByteBlocks) {
+  LegacyCdr cdr = sample_cdr();
+  cdr.uplink_volume = Bytes{1000};  // not a multiple of 256
+  const LegacyCdr decoded = decode_legacy_cdr(encode_legacy_cdr(cdr));
+  EXPECT_EQ(decoded.uplink_volume.count(), 1024u);  // rounded up
+}
+
+TEST(LegacyCdr, ZeroVolumes) {
+  LegacyCdr cdr = sample_cdr();
+  cdr.uplink_volume = Bytes{0};
+  cdr.downlink_volume = Bytes{0};
+  const LegacyCdr decoded = decode_legacy_cdr(encode_legacy_cdr(cdr));
+  EXPECT_EQ(decoded.uplink_volume.count(), 0u);
+  EXPECT_EQ(decoded.downlink_volume.count(), 0u);
+}
+
+TEST(LegacyCdr, DecodeRejectsWrongSize) {
+  ByteVec data(33, 0);
+  EXPECT_THROW((void)decode_legacy_cdr(data), DecodeError);
+  data.resize(35);
+  EXPECT_THROW((void)decode_legacy_cdr(data), DecodeError);
+}
+
+TEST(LegacyCdr, XmlMatchesTrace1Format) {
+  const std::string xml = legacy_cdr_to_xml(sample_cdr());
+  EXPECT_NE(xml.find("<chargingRecord>"), std::string::npos);
+  EXPECT_NE(xml.find("<servedIMSI>00 01 11 32 54 76 48 F5</servedIMSI>"),
+            std::string::npos);
+  EXPECT_NE(xml.find("<gatewayAddress>192.168.2.11</gatewayAddress>"),
+            std::string::npos);
+  EXPECT_NE(xml.find("<SequenceNumber>1001</SequenceNumber>"),
+            std::string::npos);
+  EXPECT_NE(xml.find("<timeUsage>3600</timeUsage>"), std::string::npos);
+  EXPECT_NE(xml.find("<datavolumeUplink>274944</datavolumeUplink>"),
+            std::string::npos);
+  EXPECT_NE(xml.find("</chargingRecord>"), std::string::npos);
+}
+
+TEST(LegacyCdr, XmlTimesAreFormatted) {
+  const std::string xml = legacy_cdr_to_xml(sample_cdr());
+  EXPECT_NE(xml.find("<timeOfFirstUsage>2019-01-07 07:13:46"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tlc::wire

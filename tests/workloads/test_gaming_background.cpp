@@ -1,0 +1,130 @@
+#include "workloads/background.hpp"
+#include "workloads/gaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tlc::workloads {
+namespace {
+
+using std::chrono::seconds;
+
+struct Capture {
+  std::vector<net::Packet> packets;
+  EmitFn fn() {
+    return [this](net::Packet p) { packets.push_back(std::move(p)); };
+  }
+  [[nodiscard]] Bytes total() const {
+    Bytes b;
+    for (const auto& p : packets) b += p.size;
+    return b;
+  }
+};
+
+TEST(Gaming, RateIsTiny) {
+  sim::Scheduler sched;
+  Capture cap;
+  GamingSource src{sched, GamingConfig::king_of_glory(), Rng{1}, cap.fn()};
+  src.start(kTimeZero + seconds{300});
+  sched.run();
+  const double mbps = cap.total().as_double() * 8.0 / 300.0 / 1e6;
+  // The paper measures ~0.02 Mbps for the King of Glory control stream.
+  EXPECT_GT(mbps, 0.01);
+  EXPECT_LT(mbps, 0.06);
+}
+
+TEST(Gaming, UsesAcceleratedQci7) {
+  sim::Scheduler sched;
+  Capture cap;
+  GamingSource src{sched, GamingConfig::king_of_glory(), Rng{2}, cap.fn()};
+  src.start(kTimeZero + seconds{5});
+  sched.run();
+  ASSERT_FALSE(cap.packets.empty());
+  for (const auto& p : cap.packets) EXPECT_EQ(p.qci, net::Qci::kQci7);
+}
+
+TEST(Gaming, PacketsAreSmallDatagrams) {
+  sim::Scheduler sched;
+  Capture cap;
+  GamingSource src{sched, GamingConfig::king_of_glory(), Rng{3}, cap.fn()};
+  src.start(kTimeZero + seconds{10});
+  sched.run();
+  for (const auto& p : cap.packets) {
+    EXPECT_GE(p.size.count(), 70u);
+    EXPECT_LE(p.size.count(), 110u);
+  }
+}
+
+TEST(Gaming, BurstsOccur) {
+  sim::Scheduler sched;
+  Capture cap;
+  GamingConfig cfg;
+  cfg.burst_probability = 0.5;
+  cfg.burst_packets = 4;
+  GamingSource src{sched, cfg, Rng{4}, cap.fn()};
+  src.start(kTimeZero + seconds{10});
+  sched.run();
+  // ~300 ticks, half bursting with 4 packets → well above 1/tick.
+  EXPECT_GT(cap.packets.size(), 400u);
+}
+
+TEST(Gaming, RejectsZeroTick) {
+  sim::Scheduler sched;
+  GamingConfig cfg;
+  cfg.tick = Duration::zero();
+  EXPECT_THROW((GamingSource{sched, cfg, Rng{1}, [](net::Packet) {}}),
+               std::invalid_argument);
+}
+
+TEST(Cbr, RateIsExact) {
+  sim::Scheduler sched;
+  Capture cap;
+  CbrConfig cfg;
+  cfg.rate = BitRate::from_mbps(100.0);
+  CbrSource src{sched, cfg, cap.fn()};
+  src.start(kTimeZero + seconds{2});
+  sched.run();
+  const double mbps = cap.total().as_double() * 8.0 / 2.0 / 1e6;
+  EXPECT_NEAR(mbps, 100.0, 1.0);
+}
+
+TEST(Cbr, EvenSpacing) {
+  sim::Scheduler sched;
+  std::vector<TimePoint> times;
+  CbrConfig cfg;
+  cfg.rate = BitRate::from_mbps(11.2);  // 1400 B @ 11.2 Mbps = 1 ms
+  CbrSource src{sched, cfg, [&times](net::Packet p) {
+                  times.push_back(p.created);
+                }};
+  src.start(kTimeZero + seconds{1});
+  sched.run();
+  ASSERT_GT(times.size(), 10u);
+  const Duration gap = times[1] - times[0];
+  EXPECT_EQ(gap, std::chrono::milliseconds{1});
+  for (std::size_t i = 2; i < times.size(); ++i) {
+    EXPECT_EQ(times[i] - times[i - 1], gap);
+  }
+}
+
+TEST(Cbr, RejectsZeroRate) {
+  sim::Scheduler sched;
+  CbrConfig cfg;
+  cfg.rate = BitRate{0};
+  EXPECT_THROW((CbrSource{sched, cfg, [](net::Packet) {}}),
+               std::invalid_argument);
+}
+
+TEST(Cbr, DefaultsToBestEffortDownlink) {
+  sim::Scheduler sched;
+  Capture cap;
+  CbrSource src{sched, CbrConfig{}, cap.fn()};
+  src.start(kTimeZero + std::chrono::milliseconds{100});
+  sched.run();
+  ASSERT_FALSE(cap.packets.empty());
+  EXPECT_EQ(cap.packets[0].qci, net::Qci::kQci9);
+  EXPECT_EQ(cap.packets[0].direction, charging::Direction::kDownlink);
+}
+
+}  // namespace
+}  // namespace tlc::workloads

@@ -1,0 +1,161 @@
+#include "workloads/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "workloads/gaming.hpp"
+
+namespace tlc::workloads {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+Trace small_trace() {
+  Trace t;
+  t.records = {
+      {milliseconds{0}, Bytes{100}},
+      {milliseconds{10}, Bytes{200}},
+      {milliseconds{30}, Bytes{300}},
+  };
+  return t;
+}
+
+TEST(Trace, TotalsAndRate) {
+  const Trace t = small_trace();
+  EXPECT_EQ(t.total_bytes(), Bytes{600});
+  EXPECT_EQ(t.duration(), milliseconds{30});
+  // 600 B over 30 ms = 160 kbps.
+  EXPECT_NEAR(t.average_rate().mbps(), 0.16, 0.001);
+}
+
+TEST(Trace, EmptyTraceHasZeroRate) {
+  Trace t;
+  EXPECT_EQ(t.average_rate().bps(), 0u);
+  EXPECT_EQ(t.duration(), Duration::zero());
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  const Trace t = small_trace();
+  std::stringstream ss;
+  save_trace(ss, t);
+  const Trace loaded = load_trace(ss);
+  EXPECT_EQ(loaded.records, t.records);
+  EXPECT_EQ(loaded.direction, t.direction);
+}
+
+TEST(Trace, LoadParsesDirectionHeader) {
+  std::stringstream ss;
+  ss << "# tlc-trace v1 direction=uplink qci=9 flow=3\n";
+  ss << "0 100\n";
+  const Trace t = load_trace(ss);
+  EXPECT_EQ(t.direction, charging::Direction::kUplink);
+  ASSERT_EQ(t.records.size(), 1u);
+}
+
+TEST(Trace, LoadRejectsGarbage) {
+  std::stringstream ss;
+  ss << "not a trace line\n";
+  EXPECT_THROW((void)load_trace(ss), std::invalid_argument);
+}
+
+TEST(Trace, LoadRejectsEmpty) {
+  std::stringstream ss;
+  EXPECT_THROW((void)load_trace(ss), std::invalid_argument);
+}
+
+TEST(TraceRecorder, CapturesPacketsFromSource) {
+  sim::Scheduler sched;
+  TraceRecorder recorder{kTimeZero};
+  std::vector<net::Packet> downstream;
+  GamingSource src{sched, GamingConfig::king_of_glory(), Rng{1},
+                   recorder.tap([&downstream](net::Packet p) {
+                     downstream.push_back(std::move(p));
+                   })};
+  src.start(kTimeZero + seconds{5});
+  sched.run();
+  EXPECT_EQ(recorder.trace().records.size(), downstream.size());
+  EXPECT_EQ(recorder.trace().total_bytes(), src.bytes_emitted());
+}
+
+TEST(TraceReplay, PreservesTimingAndSizes) {
+  sim::Scheduler sched;
+  std::vector<net::Packet> out;
+  TraceReplaySource replay{sched, small_trace(),
+                           [&out](net::Packet p) { out.push_back(std::move(p)); },
+                           /*loop=*/false};
+  replay.start(kTimeZero + seconds{1});
+  sched.run();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].created, kTimeZero);
+  EXPECT_EQ(out[1].created, kTimeZero + milliseconds{10});
+  EXPECT_EQ(out[2].created, kTimeZero + milliseconds{30});
+  EXPECT_EQ(out[1].size, Bytes{200});
+}
+
+TEST(TraceReplay, LoopsUntilDeadline) {
+  sim::Scheduler sched;
+  std::size_t count = 0;
+  TraceReplaySource replay{sched, small_trace(),
+                           [&count](net::Packet) { ++count; },
+                           /*loop=*/true};
+  replay.start(kTimeZero + seconds{1});
+  sched.run();
+  // One pass is 3 packets in ~40 ms; a second of looping gives many passes.
+  EXPECT_GT(count, 30u);
+}
+
+TEST(TraceReplay, RecordReplayRoundTrip) {
+  // The paper's methodology: capture an app, replay it elsewhere.
+  sim::Scheduler sched1;
+  TraceRecorder recorder{kTimeZero};
+  GamingSource original{sched1, GamingConfig::king_of_glory(), Rng{7},
+                        recorder.tap(nullptr)};
+  original.start(kTimeZero + seconds{10});
+  sched1.run();
+
+  Trace captured = recorder.trace();
+  captured.qci = net::Qci::kQci7;
+
+  sim::Scheduler sched2;
+  Bytes replayed;
+  TraceReplaySource replay{sched2, captured,
+                           [&replayed](net::Packet p) { replayed += p.size; },
+                           /*loop=*/false};
+  replay.start(kTimeZero + seconds{20});
+  sched2.run();
+  EXPECT_EQ(replayed, original.bytes_emitted());
+}
+
+TEST(TraceReplay, RejectsEmptyTrace) {
+  sim::Scheduler sched;
+  EXPECT_THROW(
+      (TraceReplaySource{sched, Trace{}, [](net::Packet) {}, false}),
+      std::invalid_argument);
+}
+
+TEST(TraceReplay, RejectsUnsortedTrace) {
+  sim::Scheduler sched;
+  Trace t;
+  t.records = {{milliseconds{10}, Bytes{1}}, {milliseconds{5}, Bytes{1}}};
+  EXPECT_THROW((TraceReplaySource{sched, t, [](net::Packet) {}, false}),
+               std::invalid_argument);
+}
+
+TEST(SyntheticTraces, VridgeMatchesPaperProfile) {
+  const Trace t = make_vridge_trace(Rng{1}, seconds{30});
+  EXPECT_NEAR(t.average_rate().mbps(), 9.0, 1.0);
+  EXPECT_EQ(t.direction, charging::Direction::kDownlink);
+  for (const auto& r : t.records) EXPECT_LE(r.size.count(), kMtuPayload);
+}
+
+TEST(SyntheticTraces, GamingMatchesPaperProfile) {
+  const Trace t = make_gaming_trace(Rng{2}, seconds{60});
+  EXPECT_LT(t.average_rate().mbps(), 0.06);
+  EXPECT_EQ(t.qci, net::Qci::kQci7);
+}
+
+}  // namespace
+}  // namespace tlc::workloads

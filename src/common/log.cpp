@@ -2,11 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
+#include <string>
 
 namespace tlc {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+LogSinkFn g_sink;    // empty = stderr
+LogClockFn g_clock;  // empty = no sim-time prefix
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -30,11 +33,30 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_sink(LogSinkFn sink) { g_sink = std::move(sink); }
+
+void set_log_clock(LogClockFn clock) { g_clock = std::move(clock); }
+
 namespace detail {
 
 void log_line(LogLevel level, std::string_view message) {
-  std::fprintf(stderr, "[tlc %s] %.*s\n", level_name(level),
-               static_cast<int>(message.size()), message.data());
+  std::string line = "[tlc ";
+  line += level_name(level);
+  line += "]";
+  if (g_clock) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "[t=%.6fs]", to_seconds(
+        g_clock().time_since_epoch()));
+    line += buf;
+  }
+  line += " ";
+  line += message;
+  if (g_sink) {
+    g_sink(level, line);
+  } else {
+    std::fprintf(stderr, "%.*s\n", static_cast<int>(line.size()),
+                 line.data());
+  }
 }
 
 }  // namespace detail

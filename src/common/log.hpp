@@ -1,12 +1,22 @@
 // Minimal leveled logger.
 //
 // The library itself is silent at default level; simulations and benches
-// raise the level for progress output. No global mutable state beyond the
-// level, and logging is never on a packet fast path.
+// raise the level for progress output. Logging is never on a packet fast
+// path.
+//
+// Two pluggable hooks keep log lines usable inside a simulation:
+//   * set_log_sink routes formatted lines somewhere other than stderr
+//     (test capture, a file, the structured trace);
+//   * set_log_clock registers a simulated-time source (typically a
+//     Scheduler's now()), after which every line is prefixed with the
+//     simulated time so log output can be ordered against trace events.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string_view>
+
+#include "common/units.hpp"
 
 namespace tlc {
 
@@ -14,6 +24,18 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
+
+/// Receives every emitted line, already prefixed with level (and simulated
+/// time when a clock is registered). Pass nullptr to restore stderr.
+using LogSinkFn = std::function<void(LogLevel, std::string_view line)>;
+void set_log_sink(LogSinkFn sink);
+
+/// Registers a simulated-time source; lines are prefixed "[t=12.345s]".
+/// The callable must stay valid until cleared. Pass nullptr to clear
+/// (callers owning the clock — e.g. anything holding a Scheduler — must
+/// clear before the clock dies).
+using LogClockFn = std::function<TimePoint()>;
+void set_log_clock(LogClockFn clock);
 
 namespace detail {
 void log_line(LogLevel level, std::string_view message);

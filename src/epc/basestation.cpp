@@ -39,6 +39,27 @@ BaseStation::BaseStation(sim::Scheduler& sched, BaseStationConfig config,
             if (ul_drop_observer_) ul_drop_observer_(p, cause, at);
           }) {}
 
+void BaseStation::set_observability(obs::Obs* obs,
+                                    const std::string& cell_name) {
+  obs_ = obs;
+  component_ = "epc." + cell_name;
+  radio_.set_observability(obs, "radio." + cell_name);
+  // Both cells share the link prefixes so per-cause drop counters aggregate
+  // across handovers: the charging-gap identity is a property of the whole
+  // downlink path, not of one cell.
+  dl_link_.set_observability(obs, "net.dl");
+  ul_link_.set_observability(obs, "net.ul");
+  if (obs_ == nullptr) {
+    m_detaches_ = nullptr;
+    m_attaches_ = nullptr;
+    m_counter_checks_ = nullptr;
+    return;
+  }
+  m_detaches_ = &obs_->metrics.counter(component_ + ".detaches");
+  m_attaches_ = &obs_->metrics.counter(component_ + ".attaches");
+  m_counter_checks_ = &obs_->metrics.counter(component_ + ".counter_checks");
+}
+
 void BaseStation::start() {
   if (started_) return;
   started_ = true;
@@ -75,10 +96,14 @@ bool BaseStation::trigger_counter_check() {
 
 void BaseStation::perform_counter_check() {
   ++counter_checks_;
+  if (m_counter_checks_ != nullptr) m_counter_checks_->inc();
   CounterCheckReport report;
   report.cumulative_dl_bytes = device_.modem_rx_bytes();
   report.cumulative_ul_bytes = device_.modem_tx_bytes();
   report.at = sched_.now();
+  TLC_TRACE_EVENT(obs_, component_, "counter_check", obs::TraceLevel::kDebug,
+                  obs::field("dl_bytes", report.cumulative_dl_bytes),
+                  obs::field("ul_bytes", report.cumulative_ul_bytes));
   if (counter_check_sink_) counter_check_sink_(report);
 }
 
@@ -122,6 +147,10 @@ void BaseStation::poll_radio() {
 
 void BaseStation::detach() {
   ++detaches_;
+  if (m_detaches_ != nullptr) m_detaches_->inc();
+  TLC_TRACE_EVENT(obs_, component_, "detach", obs::TraceLevel::kInfo,
+                  obs::field("outage_s",
+                             to_seconds(sched_.now() - disconnected_since_)));
   attached_ = false;
   rrc_connected_ = false;
   dl_link_.flush(net::DropCause::kDetached);
@@ -132,6 +161,8 @@ void BaseStation::detach() {
 }
 
 void BaseStation::attach() {
+  if (m_attaches_ != nullptr) m_attaches_->inc();
+  TLC_TRACE_EVENT(obs_, component_, "attach", obs::TraceLevel::kInfo);
   attached_ = true;
   rrc_connected_ = true;
   if (!suspended_) {
@@ -142,6 +173,8 @@ void BaseStation::attach() {
 }
 
 void BaseStation::suspend(net::DropCause cause) {
+  TLC_TRACE_EVENT(obs_, component_, "suspend", obs::TraceLevel::kInfo,
+                  obs::field("cause", to_string(cause)));
   suspended_ = true;
   dl_link_.flush(cause);
   dl_link_.set_blocked(true, cause);
@@ -150,6 +183,7 @@ void BaseStation::suspend(net::DropCause cause) {
 }
 
 void BaseStation::resume() {
+  TLC_TRACE_EVENT(obs_, component_, "resume", obs::TraceLevel::kInfo);
   suspended_ = false;
   if (attached_) {
     dl_link_.set_blocked(false);

@@ -22,10 +22,12 @@
 #pragma once
 
 #include <functional>
+#include <string>
 
 #include "charging/cycle.hpp"
 #include "epc/device.hpp"
 #include "net/link.hpp"
+#include "obs/obs.hpp"
 #include "sim/scheduler.hpp"
 
 namespace tlc::epc {
@@ -109,6 +111,14 @@ class BaseStation {
     return counter_checks_;
   }
 
+  /// Wires the whole cell: the radio (component "radio.<cell>"), both air
+  /// links (shared prefixes "net.dl"/"net.ul" so parallel cells aggregate
+  /// into one set of per-cause drop counters), plus per-cell counters
+  /// epc.<cell>.{detaches,attaches,counter_checks}. Trace component
+  /// "epc.<cell>": detach/attach/suspend/resume at info, counter_check at
+  /// debug.
+  void set_observability(obs::Obs* obs, const std::string& cell_name);
+
  private:
   void poll_radio();
   void detach();
@@ -143,6 +153,12 @@ class BaseStation {
   std::uint64_t counter_checks_ = 0;
   std::map<std::uint64_t, Bytes> ul_radio_loss_by_cycle_;
   bool started_ = false;
+
+  obs::Obs* obs_ = nullptr;
+  std::string component_;
+  obs::Counter* m_detaches_ = nullptr;
+  obs::Counter* m_attaches_ = nullptr;
+  obs::Counter* m_counter_checks_ = nullptr;
 };
 
 }  // namespace tlc::epc

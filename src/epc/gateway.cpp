@@ -8,20 +8,72 @@ SpGateway::SpGateway(sim::Scheduler& sched, charging::DataPlan plan,
                      sim::NodeClock operator_clock, Imsi imsi)
     : sched_(sched), accountant_(plan, operator_clock), imsi_(imsi) {}
 
+void SpGateway::set_observability(obs::Obs* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) {
+    m_charged_ul_packets_ = nullptr;
+    m_charged_ul_bytes_ = nullptr;
+    m_charged_dl_packets_ = nullptr;
+    m_charged_dl_bytes_ = nullptr;
+    m_uncharged_dl_packets_ = nullptr;
+    m_uncharged_dl_bytes_ = nullptr;
+    return;
+  }
+  m_charged_ul_packets_ = &obs_->metrics.counter("epc.gw.charged_ul_packets");
+  m_charged_ul_bytes_ = &obs_->metrics.counter("epc.gw.charged_ul_bytes");
+  m_charged_dl_packets_ = &obs_->metrics.counter("epc.gw.charged_dl_packets");
+  m_charged_dl_bytes_ = &obs_->metrics.counter("epc.gw.charged_dl_bytes");
+  m_uncharged_dl_packets_ =
+      &obs_->metrics.counter("epc.gw.uncharged_dl_packets");
+  m_uncharged_dl_bytes_ = &obs_->metrics.counter("epc.gw.uncharged_dl_bytes");
+}
+
+void SpGateway::set_session_up(bool up) {
+  if (up != session_up_) {
+    TLC_TRACE_EVENT(obs_, "epc.gw", "session", obs::TraceLevel::kInfo,
+                    obs::field("up", up));
+  }
+  session_up_ = up;
+}
+
 void SpGateway::forward_downlink(net::Packet packet) {
   const TimePoint now = sched_.now();
   if (pcrf_ != nullptr) pcrf_->apply(packet);
   if (!session_up_) {
     uncharged_dl_ += packet.size;
+    if (m_uncharged_dl_packets_ != nullptr) {
+      m_uncharged_dl_packets_->inc();
+      m_uncharged_dl_bytes_->inc(packet.size.count());
+    }
+    TLC_TRACE_EVENT(obs_, "epc.gw", "uncharged_drop",
+                    obs::TraceLevel::kDebug,
+                    obs::field("bytes", packet.size),
+                    obs::field("flow", packet.flow));
     if (uncharged_drop_) uncharged_drop_(packet, now);
     return;
   }
   accountant_.record(now, charging::Direction::kDownlink, packet.size);
+  if (m_charged_dl_packets_ != nullptr) {
+    m_charged_dl_packets_->inc();
+    m_charged_dl_bytes_->inc(packet.size.count());
+  }
+  TLC_TRACE_EVENT(obs_, "epc.gw", "charge", obs::TraceLevel::kDebug,
+                  obs::field("direction", "downlink"),
+                  obs::field("bytes", packet.size),
+                  obs::field("flow", packet.flow));
   if (dl_forward_) dl_forward_(std::move(packet));
 }
 
 void SpGateway::on_uplink_from_enb(const net::Packet& packet, TimePoint at) {
   accountant_.record(at, charging::Direction::kUplink, packet.size);
+  if (m_charged_ul_packets_ != nullptr) {
+    m_charged_ul_packets_->inc();
+    m_charged_ul_bytes_->inc(packet.size.count());
+  }
+  TLC_TRACE_EVENT(obs_, "epc.gw", "charge", obs::TraceLevel::kDebug,
+                  obs::field("direction", "uplink"),
+                  obs::field("bytes", packet.size),
+                  obs::field("flow", packet.flow));
   if (ul_forward_) ul_forward_(packet);
 }
 

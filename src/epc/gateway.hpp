@@ -19,6 +19,7 @@
 #include "epc/ids.hpp"
 #include "epc/pcrf.hpp"
 #include "net/packet.hpp"
+#include "obs/obs.hpp"
 #include "sim/scheduler.hpp"
 #include "wire/legacy_cdr.hpp"
 
@@ -47,7 +48,7 @@ class SpGateway {
   }
 
   /// Session state driven by the base station's attach/detach events.
-  void set_session_up(bool up) { session_up_ = up; }
+  void set_session_up(bool up);
   [[nodiscard]] bool session_up() const { return session_up_; }
 
   /// Optional policy function: when set, downlink packets are re-stamped
@@ -76,6 +77,11 @@ class SpGateway {
     return accountant_;
   }
 
+  /// Counters epc.gw.charged_{ul,dl}_{packets,bytes} and
+  /// epc.gw.uncharged_dl_{packets,bytes}; trace component "epc.gw"
+  /// ("session" at info, per-packet "charge"/"uncharged_drop" at debug).
+  void set_observability(obs::Obs* obs);
+
  private:
   sim::Scheduler& sched_;
   charging::CycleAccountant accountant_;
@@ -88,6 +94,14 @@ class SpGateway {
   double cdr_tamper_ = 1.0;
   Bytes uncharged_dl_;
   std::uint32_t cdr_seq_ = 1000;
+
+  obs::Obs* obs_ = nullptr;
+  obs::Counter* m_charged_ul_packets_ = nullptr;
+  obs::Counter* m_charged_ul_bytes_ = nullptr;
+  obs::Counter* m_charged_dl_packets_ = nullptr;
+  obs::Counter* m_charged_dl_bytes_ = nullptr;
+  obs::Counter* m_uncharged_dl_packets_ = nullptr;
+  obs::Counter* m_uncharged_dl_bytes_ = nullptr;
 };
 
 }  // namespace tlc::epc

@@ -31,9 +31,19 @@ void HandoverController::start() {
   sched_.schedule_after(config_.period, Loop{this});
 }
 
+void HandoverController::set_observability(obs::Obs* obs) {
+  obs_ = obs;
+  m_handovers_ =
+      obs_ == nullptr ? nullptr : &obs_->metrics.counter("epc.handover.count");
+}
+
 void HandoverController::execute_handover() {
   ++handovers_;
+  if (m_handovers_ != nullptr) m_handovers_->inc();
   const std::size_t target = (serving_index_ + 1) % cells_.size();
+  TLC_TRACE_EVENT(obs_, "epc.handover", "handover", obs::TraceLevel::kInfo,
+                  obs::field("from", static_cast<std::uint64_t>(serving_index_)),
+                  obs::field("to", static_cast<std::uint64_t>(target)));
 
   // Source cell releases the device: buffered data is discarded (no X2
   // forwarding), and nothing flows until the target admits the device.

@@ -48,6 +48,10 @@ class HandoverController {
   /// periodic schedule).
   void execute_handover();
 
+  /// Counter epc.handover.count; trace component "epc.handover", one
+  /// "handover" event per execution (from/to cell indices) at info.
+  void set_observability(obs::Obs* obs);
+
  private:
   sim::Scheduler& sched_;
   Config config_;
@@ -55,6 +59,9 @@ class HandoverController {
   std::size_t serving_index_ = 0;
   std::uint64_t handovers_ = 0;
   bool started_ = false;
+
+  obs::Obs* obs_ = nullptr;
+  obs::Counter* m_handovers_ = nullptr;
 };
 
 }  // namespace tlc::epc

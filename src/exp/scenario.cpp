@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "common/log.hpp"
 #include "tlc/strategy.hpp"
 #include "workloads/gaming.hpp"
 #include "workloads/video.hpp"
@@ -131,6 +132,11 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   tb.seed = seeder.fork()();
 
   Testbed bed{tb};
+  if (!config.trace_jsonl_path.empty() &&
+      !bed.obs().trace.open_jsonl(config.trace_jsonl_path)) {
+    log_warn("scenario: cannot open trace file ", config.trace_jsonl_path,
+             "; continuing without JSONL trace");
+  }
   bed.device().set_api_tamper_factor(config.edge_api_tamper);
   bed.gateway().set_cdr_tamper_factor(config.operator_cdr_tamper);
   if (config.app == AppKind::kGaming) {
@@ -181,9 +187,11 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   }
   source->start(end);
   bed.run_until(end + std::chrono::seconds{10});
+  bed.obs().trace.close_jsonl();
 
   ScenarioResult result;
   result.config = config;
+  result.metrics = bed.obs().metrics.snapshot();
   result.measured_app_mbps =
       source->bytes_emitted().as_double() * 8.0 /
       to_seconds(end - kTimeZero) / 1e6;

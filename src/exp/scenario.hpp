@@ -10,6 +10,7 @@
 // they settle the records, exactly as in the paper's methodology.
 #pragma once
 
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -49,6 +50,9 @@ struct ScenarioConfig {
   double operator_cdr_tamper = 1.0;
   /// TLC-random claim spread.
   double random_spread = 0.5;
+  /// When non-empty, the testbed's structured trace is streamed to this
+  /// JSONL file for the whole run (identical seeds → identical bytes).
+  std::string trace_jsonl_path;
 };
 
 struct CycleOutcome {
@@ -72,6 +76,10 @@ struct ScenarioResult {
   ScenarioConfig config;
   std::vector<CycleOutcome> cycles;
   double measured_app_mbps = 0.0;
+  /// Snapshot of every testbed counter/gauge/histogram at the end of the
+  /// run (the gateway's charged volumes, per-cause link drops, scheduler
+  /// stats, ...).
+  obs::MetricsSnapshot metrics;
 
   /// ∆ normalised to MB per hour, as the paper reports gaps.
   [[nodiscard]] double to_mb_per_hr(double gap_bytes) const;

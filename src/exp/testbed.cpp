@@ -38,6 +38,18 @@ Testbed::Testbed(TestbedConfig config)
                                               config_.operator_clock);
   }
 
+  // Observability: one registry + trace sink for the whole testbed, with
+  // events stamped in sim time. Wire before start() so the scheduler's
+  // counters see every event.
+  obs_.trace.set_clock([this] { return sched_.now(); });
+  sched_.set_observability(&obs_);
+  gateway_.set_observability(&obs_);
+  rrc_.set_observability(&obs_);
+  backhaul_up_.set_observability(&obs_, "net.backhaul.ul");
+  backhaul_down_.set_observability(&obs_, "net.backhaul.dl");
+  bs_.set_observability(&obs_, "cell0");
+  if (bs2_) bs2_->set_observability(&obs_, "cell1");
+
   const auto wire_cell = [this](epc::BaseStation& cell) {
     cell.set_uplink_sink([this](const net::Packet& p, TimePoint at) {
       note_truth(charging::Direction::kUplink, /*sent=*/false, p.size, at);
@@ -59,7 +71,14 @@ Testbed::Testbed(TestbedConfig config)
   wire_cell(bs_);
   if (bs2_) wire_cell(*bs2_);
   // Downlink chain behind the charging point: gateway → SLA middlebox →
-  // base station. Anything the middlebox drops was already charged.
+  // base station. Anything the middlebox drops was already charged. The
+  // middlebox's drops are funnelled into the shared net.dl drop counters
+  // so the charging-gap identity (charged − delivered = Σ per-cause drops)
+  // covers every post-charge loss point.
+  obs::Counter* const sla_drop_packets =
+      &obs_.metrics.counter("net.dl.drop.sla-violation_packets");
+  obs::Counter* const sla_drop_bytes =
+      &obs_.metrics.counter("net.dl.drop.sla-violation_bytes");
   sla_box_ = std::make_unique<epc::SlaMiddlebox>(
       sched_, epc::SlaMiddlebox::Config{config_.sla_budget}, bs_.downlink(),
       [this](net::Packet p) {
@@ -68,6 +87,16 @@ Testbed::Testbed(TestbedConfig config)
         } else {
           bs_.send_downlink(std::move(p));
         }
+      },
+      [this, sla_drop_packets, sla_drop_bytes](
+          const net::Packet& p, net::DropCause cause, TimePoint) {
+        sla_drop_packets->inc();
+        sla_drop_bytes->inc(p.size.count());
+        TLC_TRACE_EVENT(&obs_, "net.dl", "drop", obs::TraceLevel::kInfo,
+                        obs::field("cause", to_string(cause)),
+                        obs::field("bytes", p.size),
+                        obs::field("flow", p.flow),
+                        obs::field("qci", static_cast<int>(p.qci)));
       });
   gateway_.set_pcrf(&pcrf_);
   gateway_.set_downlink_forward(
@@ -86,6 +115,7 @@ Testbed::Testbed(TestbedConfig config)
         epc::HandoverController::Config{config_.handover_period,
                                         config_.handover_interruption},
         std::vector<epc::BaseStation*>{&bs_, bs2_.get()});
+    handover_->set_observability(&obs_);
     handover_->start();
   }
 }

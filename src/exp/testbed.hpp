@@ -23,6 +23,7 @@
 #include "epc/sla_middlebox.hpp"
 #include "monitor/rrc_monitor.hpp"
 #include "monitor/views.hpp"
+#include "obs/obs.hpp"
 #include "sim/scheduler.hpp"
 
 namespace tlc::exp {
@@ -103,12 +104,18 @@ class Testbed {
   /// Fraction of `cycle` the device spent disconnected (the paper's η).
   [[nodiscard]] double disconnect_ratio(std::uint64_t cycle) const;
 
+  /// The testbed-wide metrics registry + trace sink. Every component is
+  /// wired at construction; the trace clock is the scheduler's sim time.
+  [[nodiscard]] obs::Obs& obs() { return obs_; }
+  [[nodiscard]] const obs::Obs& obs() const { return obs_; }
+
  private:
   void note_truth(charging::Direction direction, bool sent, Bytes size,
                   TimePoint now);
   void schedule_cycle_end_checks(TimePoint until);
 
   TestbedConfig config_;
+  obs::Obs obs_;  // before every component that resolves pointers into it
   sim::Scheduler sched_;
   Rng rng_;
   epc::EdgeDevice device_;

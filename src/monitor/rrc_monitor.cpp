@@ -2,6 +2,12 @@
 
 namespace tlc::monitor {
 
+void RrcDownlinkMonitor::set_observability(obs::Obs* obs) {
+  obs_ = obs;
+  m_reports_ =
+      obs_ == nullptr ? nullptr : &obs_->metrics.counter("monitor.rrc.reports");
+}
+
 void RrcDownlinkMonitor::on_counter_check(
     const epc::CounterCheckReport& report) {
   ++reports_;
@@ -26,6 +32,12 @@ void RrcDownlinkMonitor::on_counter_check(
       plan_.cycle_at(clock_.local_time(midpoint)).index;
   dl_by_cycle_[cycle] += Bytes{dl_delta};
   ul_by_cycle_[cycle] += Bytes{ul_delta};
+  if (m_reports_ != nullptr) m_reports_->inc();
+  TLC_TRACE_EVENT_AT(obs_, report.at, "monitor.rrc", "report",
+                     obs::TraceLevel::kDebug,
+                     obs::field("dl_delta", dl_delta),
+                     obs::field("ul_delta", ul_delta),
+                     obs::field("cycle", cycle));
 }
 
 Bytes RrcDownlinkMonitor::downlink_usage(std::uint64_t cycle) const {

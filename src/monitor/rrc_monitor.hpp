@@ -18,6 +18,7 @@
 
 #include "charging/cycle.hpp"
 #include "epc/basestation.hpp"
+#include "obs/obs.hpp"
 
 namespace tlc::monitor {
 
@@ -39,9 +40,16 @@ class RrcDownlinkMonitor {
 
   [[nodiscard]] std::uint64_t reports_received() const { return reports_; }
 
+  /// Counter monitor.rrc.reports; trace component "monitor.rrc", one
+  /// "report" event per counter check (dl/ul deltas + attributed cycle) at
+  /// debug.
+  void set_observability(obs::Obs* obs);
+
  private:
   charging::DataPlan plan_;
   sim::NodeClock clock_;
+  obs::Obs* obs_ = nullptr;
+  obs::Counter* m_reports_ = nullptr;
   std::uint64_t last_dl_ = 0;
   std::uint64_t last_ul_ = 0;
   TimePoint last_report_at_ = kTimeZero;

@@ -32,7 +32,41 @@ void CellLink::enqueue(Packet packet) {
   if (result.rejected.has_value()) {
     report_drop(*result.rejected, DropCause::kQueueOverflow);
   }
+  note_queue_gauges();
   maybe_start_service();
+}
+
+void CellLink::set_observability(obs::Obs* obs, std::string prefix) {
+  obs_ = obs;
+  component_ = std::move(prefix);
+  if (obs_ == nullptr) {
+    m_delivered_packets_ = nullptr;
+    m_delivered_bytes_ = nullptr;
+    m_drop_packets_.fill(nullptr);
+    m_drop_bytes_.fill(nullptr);
+    m_queue_depth_ = nullptr;
+    m_queued_bytes_ = nullptr;
+    return;
+  }
+  m_delivered_packets_ =
+      &obs_->metrics.counter(component_ + ".delivered_packets");
+  m_delivered_bytes_ = &obs_->metrics.counter(component_ + ".delivered_bytes");
+  for (std::size_t i = 0; i < kDropCauseCount; ++i) {
+    const char* cause = to_string(static_cast<DropCause>(i));
+    m_drop_packets_[i] = &obs_->metrics.counter(component_ + ".drop." + cause +
+                                                "_packets");
+    m_drop_bytes_[i] =
+        &obs_->metrics.counter(component_ + ".drop." + cause + "_bytes");
+  }
+  m_queue_depth_ = &obs_->metrics.gauge(component_ + ".queue_depth");
+  m_queued_bytes_ = &obs_->metrics.gauge(component_ + ".queued_bytes");
+}
+
+void CellLink::note_queue_gauges() {
+  if (m_queue_depth_ != nullptr) {
+    m_queue_depth_->set(static_cast<double>(queue_.size()));
+    m_queued_bytes_->set(queue_.used().as_double());
+  }
 }
 
 void CellLink::set_background_load(BitRate load) { background_ = load; }
@@ -46,6 +80,7 @@ void CellLink::flush(DropCause cause) {
   for (const auto& entry : queue_.flush()) {
     report_drop(entry.packet, cause);
   }
+  note_queue_gauges();
 }
 
 BitRate CellLink::residual_capacity(Qci qci) const {
@@ -78,6 +113,7 @@ void CellLink::service_head() {
   if (now - head->enqueued > config_.max_buffer_wait) {
     auto entry = queue_.pop();
     report_drop(entry->packet, DropCause::kBufferTimeout);
+    note_queue_gauges();
     sched_.schedule_after(Duration::zero(), [this] { service_head(); });
     return;
   }
@@ -121,11 +157,20 @@ void CellLink::complete_transmission(QciQueue::Entry entry) {
   } else {
     ++stats_.delivered_packets;
     stats_.delivered_bytes += entry.packet.size;
+    if (m_delivered_packets_ != nullptr) {
+      m_delivered_packets_->inc();
+      m_delivered_bytes_->inc(entry.packet.size.count());
+    }
+    TLC_TRACE_EVENT(obs_, component_, "deliver", obs::TraceLevel::kDebug,
+                    obs::field("bytes", entry.packet.size),
+                    obs::field("flow", entry.packet.flow),
+                    obs::field("qci", static_cast<int>(entry.packet.qci)));
     const TimePoint arrival = now + config_.propagation_delay;
     sched_.schedule_at(arrival, [this, p = entry.packet, arrival] {
       deliver_(p, arrival);
     });
   }
+  note_queue_gauges();
 
   // Continue serving.
   if (queue_.empty()) {
@@ -139,6 +184,16 @@ void CellLink::report_drop(const Packet& packet, DropCause cause) {
   ++stats_.dropped_packets;
   stats_.dropped_bytes += packet.size;
   ++stats_.drops_by_cause[cause];
+  const auto cause_index = static_cast<std::size_t>(cause);
+  if (m_drop_packets_[cause_index] != nullptr) {
+    m_drop_packets_[cause_index]->inc();
+    m_drop_bytes_[cause_index]->inc(packet.size.count());
+  }
+  TLC_TRACE_EVENT(obs_, component_, "drop", obs::TraceLevel::kInfo,
+                  obs::field("cause", to_string(cause)),
+                  obs::field("bytes", packet.size),
+                  obs::field("flow", packet.flow),
+                  obs::field("qci", static_cast<int>(packet.qci)));
   if (drop_) drop_(packet, cause, sched_.now());
 }
 
@@ -154,8 +209,23 @@ void WiredLink::enqueue(Packet packet) {
   const TimePoint arrival = pipe_free_at_ + config_.latency;
   ++stats_.delivered_packets;
   stats_.delivered_bytes += packet.size;
+  if (m_delivered_packets_ != nullptr) {
+    m_delivered_packets_->inc();
+    m_delivered_bytes_->inc(packet.size.count());
+  }
   sched_.schedule_at(arrival,
                      [this, p = std::move(packet), arrival] { deliver_(p, arrival); });
+}
+
+void WiredLink::set_observability(obs::Obs* obs, std::string_view prefix) {
+  if (obs == nullptr) {
+    m_delivered_packets_ = nullptr;
+    m_delivered_bytes_ = nullptr;
+    return;
+  }
+  const std::string p{prefix};
+  m_delivered_packets_ = &obs->metrics.counter(p + ".delivered_packets");
+  m_delivered_bytes_ = &obs->metrics.counter(p + ".delivered_bytes");
 }
 
 }  // namespace tlc::net

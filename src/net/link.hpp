@@ -12,11 +12,14 @@
 // the core: fixed latency, no queueing of interest.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <optional>
+#include <string>
 
 #include "net/queue.hpp"
 #include "net/radio.hpp"
+#include "obs/obs.hpp"
 #include "sim/scheduler.hpp"
 
 namespace tlc::net {
@@ -91,11 +94,19 @@ class CellLink {
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
   [[nodiscard]] Bytes queued_bytes() const { return queue_.used(); }
 
+  /// Attach a metrics/trace domain under `prefix` (e.g. "net.dl"):
+  /// counters <prefix>.delivered_{packets,bytes}, per-cause
+  /// <prefix>.drop.<cause>_{packets,bytes}, gauge <prefix>.queue_depth;
+  /// trace component <prefix> ("drop" at info, "deliver" at debug). Links
+  /// of parallel cells may share a prefix — their counters aggregate.
+  void set_observability(obs::Obs* obs, std::string prefix);
+
  private:
   void maybe_start_service();
   void service_head();
   void complete_transmission(QciQueue::Entry entry);
   void report_drop(const Packet& packet, DropCause cause);
+  void note_queue_gauges();
 
   sim::Scheduler& sched_;
   Config config_;
@@ -108,6 +119,15 @@ class CellLink {
   bool blocked_ = false;
   DropCause blocked_cause_ = DropCause::kDetached;
   LinkStats stats_;
+
+  obs::Obs* obs_ = nullptr;
+  std::string component_;
+  obs::Counter* m_delivered_packets_ = nullptr;
+  obs::Counter* m_delivered_bytes_ = nullptr;
+  std::array<obs::Counter*, kDropCauseCount> m_drop_packets_{};
+  std::array<obs::Counter*, kDropCauseCount> m_drop_bytes_{};
+  obs::Gauge* m_queue_depth_ = nullptr;
+  obs::Gauge* m_queued_bytes_ = nullptr;
 };
 
 class WiredLink {
@@ -123,12 +143,17 @@ class WiredLink {
 
   [[nodiscard]] const LinkStats& stats() const { return stats_; }
 
+  /// Counters <prefix>.delivered_{packets,bytes} (wired links never drop).
+  void set_observability(obs::Obs* obs, std::string_view prefix);
+
  private:
   sim::Scheduler& sched_;
   Config config_;
   CellLink::DeliverFn deliver_;
   TimePoint pipe_free_at_ = kTimeZero;
   LinkStats stats_;
+  obs::Counter* m_delivered_packets_ = nullptr;
+  obs::Counter* m_delivered_bytes_ = nullptr;
 };
 
 }  // namespace tlc::net

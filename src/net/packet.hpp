@@ -1,6 +1,7 @@
 // The unit of simulated traffic.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "charging/usage.hpp"
@@ -24,6 +25,9 @@ enum class DropCause : std::uint8_t {
   kBufferTimeout,    // link: buffered too long during an outage
   kHandover,         // link: lost in a base-station handover (§3.1 cause 2)
 };
+
+/// Number of DropCause values (for per-cause counter tables).
+inline constexpr std::size_t kDropCauseCount = 9;
 
 [[nodiscard]] constexpr const char* to_string(DropCause c) {
   switch (c) {

@@ -60,9 +60,16 @@ void RadioModel::advance_slot() {
   }
   if (dip_until_.has_value()) rss -= config_.dip_depth_db;
 
+  const bool was_connected = state_.connected;
   state_.rss = Dbm{rss};
   state_.connected = rss > config_.disconnect_threshold.value();
   if (!state_.connected) disconnected_time_ += config_.slot;
+  if (started_ && was_connected != state_.connected) {
+    if (!state_.connected && m_outages_ != nullptr) m_outages_->inc();
+    TLC_TRACE_EVENT_AT(obs_, slot_start, component_,
+                       state_.connected ? "outage_end" : "outage_begin",
+                       obs::TraceLevel::kInfo, obs::field("rss_dbm", rss));
+  }
 
   // Loss curve.
   if (!state_.connected) {
@@ -77,6 +84,13 @@ void RadioModel::advance_slot() {
     }
     state_.loss_probability = std::clamp(p, 0.0, 1.0);
   }
+}
+
+void RadioModel::set_observability(obs::Obs* obs, std::string prefix) {
+  obs_ = obs;
+  component_ = std::move(prefix);
+  m_outages_ =
+      obs_ == nullptr ? nullptr : &obs_->metrics.counter(component_ + ".outages");
 }
 
 bool RadioModel::transmission_lost(TimePoint t) {

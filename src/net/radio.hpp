@@ -16,9 +16,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "obs/obs.hpp"
 
 namespace tlc::net {
 
@@ -70,6 +72,10 @@ class RadioModel {
 
   [[nodiscard]] const RadioConfig& config() const { return config_; }
 
+  /// Counter <prefix>.outages plus trace events outage_begin/outage_end
+  /// (component <prefix>), stamped with the slot boundary time.
+  void set_observability(obs::Obs* obs, std::string prefix);
+
  private:
   void advance_slot();
 
@@ -82,6 +88,10 @@ class RadioModel {
   TimePoint next_dip_ = kTimeZero;
   Duration disconnected_time_ = Duration::zero();
   bool started_ = false;
+
+  obs::Obs* obs_ = nullptr;
+  std::string component_;
+  obs::Counter* m_outages_ = nullptr;
 };
 
 }  // namespace tlc::net

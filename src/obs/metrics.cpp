@@ -1,0 +1,165 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tlc::obs {
+namespace {
+
+/// Formats a double deterministically: integers without a fractional part,
+/// everything else with enough digits to round-trip.
+std::string format_double(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void append_json_string(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument{"Histogram: bounds must be sorted ascending"};
+  }
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  sum_ += v;
+  ++count_;
+}
+
+std::uint64_t MetricsSnapshot::counter_or_zero(std::string_view name) const {
+  const auto it = counters.find(std::string{name});
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(&out, name);
+    out.push_back(':');
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(&out, name);
+    out += ":{\"value\":" + format_double(g.value) +
+           ",\"max\":" + format_double(g.max) + "}";
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(&out, name);
+    out += ":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + format_double(h.sum) +
+           ",\"min\":" + format_double(h.min) +
+           ",\"max\":" + format_double(h.max) + ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += "{\"le\":";
+      if (i < h.upper_bounds.size()) {
+        out += format_double(h.upper_bounds[i]);
+      } else {
+        out += "\"inf\"";
+      }
+      out += ",\"count\":" + std::to_string(h.bucket_counts[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsSnapshot::print(std::FILE* out) const {
+  std::fprintf(out, "counters:\n");
+  for (const auto& [name, value] : counters) {
+    std::fprintf(out, "  %-48s %llu\n", name.c_str(),
+                 static_cast<unsigned long long>(value));
+  }
+  std::fprintf(out, "gauges:\n");
+  for (const auto& [name, g] : gauges) {
+    std::fprintf(out, "  %-48s %.3f (max %.3f)\n", name.c_str(), g.value,
+                 g.max);
+  }
+  std::fprintf(out, "histograms:\n");
+  for (const auto& [name, h] : histograms) {
+    std::fprintf(out, "  %-48s n=%llu sum=%.3f min=%.3f max=%.3f\n",
+                 name.c_str(), static_cast<unsigned long long>(h.count),
+                 h.sum, h.min, h.max);
+  }
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string{name}, Counter{}).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string{name}, Gauge{}).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_
+      .emplace(std::string{name}, Histogram{std::move(upper_bounds)})
+      .first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges[name] = GaugeSnapshot{g.value(), g.max()};
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] =
+        HistogramSnapshot{h.upper_bounds(), h.bucket_counts(), h.count(),
+                          h.sum(), h.min(), h.max()};
+  }
+  return snap;
+}
+
+}  // namespace tlc::obs

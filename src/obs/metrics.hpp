@@ -1,0 +1,135 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// Designed for packet-path use: instruments are registered once (name
+// lookup, allocation) and then held by reference, so every increment is a
+// plain integer add with no lookup and no allocation. A registry is an
+// instance, not a global — each Testbed owns one, which keeps parallel
+// simulations and tests isolated.
+//
+// `snapshot()` deep-copies every instrument into a plain-data
+// MetricsSnapshot that is immune to later registry mutation and can be
+// rendered as canonical JSON (keys sorted, integers exact) or as a console
+// table.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tlc::obs {
+
+/// Monotonically increasing event/byte count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Instantaneous level (queue depth, rate); tracks its high watermark.
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  void add(double delta) { set(value_ + delta); }
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  double value_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bucket histogram: bucket i counts observations ≤ upper_bounds[i];
+/// one implicit overflow bucket counts the rest. Bounds are fixed at
+/// registration, so observe() never allocates.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] const std::vector<double>& upper_bounds() const {
+    return bounds_;
+  }
+  /// bucket_counts().size() == upper_bounds().size() + 1 (overflow last).
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const {
+    return counts_;
+  }
+
+ private:
+  std::vector<double> bounds_;         // sorted ascending
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 entries
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+struct GaugeSnapshot {
+  double value = 0.0;
+  double max = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> bucket_counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Plain-data copy of a registry at one instant.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeSnapshot> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Counter value, or 0 when the counter was never registered.
+  [[nodiscard]] std::uint64_t counter_or_zero(std::string_view name) const;
+
+  /// Canonical single-line JSON: keys in sorted order, counters exact
+  /// integers — byte-identical across runs of a deterministic simulation.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Human-readable multi-line dump.
+  void print(std::FILE* out) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. References stay valid for the registry's lifetime (node-based
+  /// storage), so hot paths resolve once and increment directly.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `upper_bounds` is honoured on first registration only; later calls
+  /// with the same name return the existing histogram unchanged.
+  Histogram& histogram(std::string_view name, std::vector<double> upper_bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] std::string to_json() const { return snapshot().to_json(); }
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace tlc::obs

@@ -1,0 +1,19 @@
+// One observability domain: a metrics registry plus a trace sink.
+//
+// A Testbed (or a tool) owns an Obs and hands `&obs` to every component it
+// wires; components resolve their counters once at registration and emit
+// trace events through the TLC_TRACE_EVENT macros. A null Obs* means
+// "unobserved" and costs one pointer compare per event site.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tlc::obs {
+
+struct Obs {
+  MetricsRegistry metrics;
+  TraceSink trace;
+};
+
+}  // namespace tlc::obs

@@ -1,0 +1,187 @@
+#include "obs/trace.hpp"
+
+#include <cmath>
+
+namespace tlc::obs {
+namespace {
+
+void append_json_string(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+std::string format_double(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kDebug:
+      return "debug";
+    case TraceLevel::kInfo:
+      return "info";
+    case TraceLevel::kWarn:
+      return "warn";
+    case TraceLevel::kError:
+      return "error";
+  }
+  return "?";
+}
+
+TraceField field(std::string_view key, std::string_view value) {
+  return TraceField{std::string{key}, std::string{value}, /*quoted=*/true};
+}
+TraceField field(std::string_view key, const char* value) {
+  return field(key, std::string_view{value});
+}
+TraceField field(std::string_view key, bool value) {
+  return TraceField{std::string{key}, value ? "true" : "false",
+                    /*quoted=*/false};
+}
+TraceField field(std::string_view key, double value) {
+  return TraceField{std::string{key}, format_double(value),
+                    /*quoted=*/false};
+}
+TraceField field(std::string_view key, std::uint64_t value) {
+  return TraceField{std::string{key}, std::to_string(value),
+                    /*quoted=*/false};
+}
+TraceField field(std::string_view key, std::int64_t value) {
+  return TraceField{std::string{key}, std::to_string(value),
+                    /*quoted=*/false};
+}
+TraceField field(std::string_view key, int value) {
+  return field(key, static_cast<std::int64_t>(value));
+}
+TraceField field(std::string_view key, unsigned value) {
+  return field(key, static_cast<std::uint64_t>(value));
+}
+TraceField field(std::string_view key, Bytes value) {
+  return field(key, value.count());
+}
+
+std::string TraceEvent::to_jsonl() const {
+  std::string out = "{\"t_ns\":";
+  out += std::to_string(sim_time.time_since_epoch().count());
+  out += ",\"seq\":" + std::to_string(seq);
+  out += ",\"level\":\"";
+  out += to_string(level);
+  out += "\",\"component\":";
+  append_json_string(&out, component);
+  out += ",\"event\":";
+  append_json_string(&out, event);
+  for (const TraceField& f : fields) {
+    out.push_back(',');
+    append_json_string(&out, f.key);
+    out.push_back(':');
+    if (f.quoted) {
+      append_json_string(&out, f.value);
+    } else {
+      out += f.value;
+    }
+  }
+  out.push_back('}');
+  return out;
+}
+
+TraceSink::TraceSink() : TraceSink(Config{}) {}
+
+TraceSink::TraceSink(Config config) : config_(config) {
+  if (config_.ring_capacity == 0) config_.ring_capacity = 1;
+  ring_.reserve(config_.ring_capacity);
+}
+
+TraceSink::~TraceSink() { close_jsonl(); }
+
+bool TraceSink::open_jsonl(const std::string& path) {
+  close_jsonl();
+  jsonl_ = std::fopen(path.c_str(), "w");
+  return jsonl_ != nullptr;
+}
+
+void TraceSink::close_jsonl() {
+  if (jsonl_ != nullptr) {
+    std::fclose(jsonl_);
+    jsonl_ = nullptr;
+  }
+}
+
+bool TraceSink::enabled(std::string_view component, TraceLevel level) const {
+  if (level < config_.min_level) return false;
+  if (component_prefixes_.empty()) return true;
+  for (const std::string& prefix : component_prefixes_) {
+    if (component.substr(0, prefix.size()) == prefix) return true;
+  }
+  return false;
+}
+
+void TraceSink::emit(std::string_view component, std::string_view event,
+                     std::vector<TraceField> fields, TraceLevel level) {
+  emit_at(clock_ ? clock_() : kTimeZero, component, event, std::move(fields),
+          level);
+}
+
+void TraceSink::emit_at(TimePoint t, std::string_view component,
+                        std::string_view event,
+                        std::vector<TraceField> fields, TraceLevel level) {
+  if (!enabled(component, level)) return;
+  TraceEvent ev;
+  ev.seq = next_seq_++;
+  ev.sim_time = t;
+  ev.level = level;
+  ev.component = std::string{component};
+  ev.event = std::string{event};
+  ev.fields = std::move(fields);
+  ++emitted_;
+  if (jsonl_ != nullptr) {
+    const std::string line = ev.to_jsonl();
+    std::fwrite(line.data(), 1, line.size(), jsonl_);
+    std::fputc('\n', jsonl_);
+  }
+  if (ring_.size() < config_.ring_capacity) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[head_] = std::move(ev);
+    head_ = (head_ + 1) % config_.ring_capacity;
+    ++overwritten_;
+  }
+}
+
+std::vector<TraceEvent> TraceSink::events(
+    std::string_view component_prefix) const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const TraceEvent& ev = ring_[(head_ + i) % ring_.size()];
+    if (ev.component.substr(0, component_prefix.size()) == component_prefix) {
+      out.push_back(ev);
+    }
+  }
+  return out;
+}
+
+}  // namespace tlc::obs

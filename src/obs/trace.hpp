@@ -1,0 +1,195 @@
+// Structured trace sink: typed events {sim_time, component, event, k=v...}.
+//
+// Events land in a fixed-capacity in-memory ring buffer (oldest entries
+// overwritten) and, when a JSONL file is attached, are streamed there as
+// one JSON object per line. Emission is filterable by component prefix and
+// level; the `enabled()` pre-check lets callers skip field formatting
+// entirely for suppressed events.
+//
+// Determinism: events carry the simulated time (from a registered clock or
+// an explicit timestamp) plus a monotonically increasing sequence number
+// that reflects emission order, so two runs of a deterministic simulation
+// produce byte-identical traces — including under scheduler timestamp ties.
+//
+// The TLC_TRACE_EVENT macros compile to no-ops when the build sets
+// -DTLC_TRACE_ENABLED=0 (CMake option TLC_TRACE=OFF), removing even the
+// enabled() check from packet paths.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace tlc::obs {
+
+enum class TraceLevel : std::uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+[[nodiscard]] const char* to_string(TraceLevel level);
+
+/// One key=value pair of an event. Values are pre-formatted; `quoted`
+/// records whether JSON output should quote the value (strings) or emit it
+/// raw (numbers, booleans).
+struct TraceField {
+  std::string key;
+  std::string value;
+  bool quoted = true;
+};
+
+[[nodiscard]] TraceField field(std::string_view key, std::string_view value);
+[[nodiscard]] TraceField field(std::string_view key, const char* value);
+[[nodiscard]] TraceField field(std::string_view key, bool value);
+[[nodiscard]] TraceField field(std::string_view key, double value);
+[[nodiscard]] TraceField field(std::string_view key, std::uint64_t value);
+[[nodiscard]] TraceField field(std::string_view key, std::int64_t value);
+[[nodiscard]] TraceField field(std::string_view key, int value);
+[[nodiscard]] TraceField field(std::string_view key, unsigned value);
+[[nodiscard]] TraceField field(std::string_view key, Bytes value);
+
+struct TraceEvent {
+  std::uint64_t seq = 0;  // emission order; deterministic tie-break
+  TimePoint sim_time = kTimeZero;
+  TraceLevel level = TraceLevel::kInfo;
+  std::string component;
+  std::string event;
+  std::vector<TraceField> fields;
+
+  /// {"t_ns":..,"seq":..,"level":"info","component":"..","event":"..",k:v..}
+  [[nodiscard]] std::string to_jsonl() const;
+};
+
+class TraceSink {
+ public:
+  struct Config {
+    std::size_t ring_capacity = 4096;
+    TraceLevel min_level = TraceLevel::kDebug;
+  };
+
+  TraceSink();
+  explicit TraceSink(Config config);
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+  ~TraceSink();
+
+  /// Simulated-time source for events emitted without an explicit time
+  /// (typically `[&sched] { return sched.now(); }`).
+  void set_clock(std::function<TimePoint()> clock) {
+    clock_ = std::move(clock);
+  }
+
+  void set_min_level(TraceLevel level) { config_.min_level = level; }
+  [[nodiscard]] TraceLevel min_level() const { return config_.min_level; }
+
+  /// Keep only events whose component starts with one of `prefixes`
+  /// (empty list = keep everything).
+  void set_component_filter(std::vector<std::string> prefixes) {
+    component_prefixes_ = std::move(prefixes);
+  }
+
+  /// Attaches a JSONL output file (truncates). Returns false on failure.
+  bool open_jsonl(const std::string& path);
+  void close_jsonl();
+
+  /// Cheap pre-check: would an event for (component, level) be recorded?
+  [[nodiscard]] bool enabled(std::string_view component,
+                             TraceLevel level) const;
+
+  /// Records an event stamped with the registered clock (kTimeZero when no
+  /// clock is set). Suppressed events (level/component filter) are dropped.
+  void emit(std::string_view component, std::string_view event,
+            std::vector<TraceField> fields = {},
+            TraceLevel level = TraceLevel::kInfo);
+
+  /// Same, with an explicit timestamp (for models that advance ahead of or
+  /// behind the scheduler clock, e.g. the slotted radio).
+  void emit_at(TimePoint t, std::string_view component,
+               std::string_view event, std::vector<TraceField> fields = {},
+               TraceLevel level = TraceLevel::kInfo);
+
+  /// Ring contents, oldest → newest; optionally only events whose
+  /// component starts with `component_prefix`.
+  [[nodiscard]] std::vector<TraceEvent> events(
+      std::string_view component_prefix = {}) const;
+
+  [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+  [[nodiscard]] std::uint64_t overwritten() const { return overwritten_; }
+  [[nodiscard]] std::size_t capacity() const { return config_.ring_capacity; }
+
+  /// Target of the disabled-build trace macros: keeps every argument
+  /// type-checked and formally "used" inside an unreachable branch, so a
+  /// TLC_TRACE=OFF build stays warning-clean without #ifdef at call sites.
+  static void noop(std::string_view /*component*/, std::string_view /*event*/,
+                   std::initializer_list<TraceField> /*fields*/,
+                   TraceLevel /*level*/) {}
+
+ private:
+  Config config_;
+  std::function<TimePoint()> clock_;
+  std::vector<std::string> component_prefixes_;
+  std::vector<TraceEvent> ring_;  // grows to ring_capacity, then circular
+  std::size_t head_ = 0;          // next write slot once ring is full
+  std::uint64_t emitted_ = 0;
+  std::uint64_t overwritten_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::FILE* jsonl_ = nullptr;
+};
+
+}  // namespace tlc::obs
+
+#ifndef TLC_TRACE_ENABLED
+#define TLC_TRACE_ENABLED 1
+#endif
+
+// TLC_TRACE_EVENT(obs, "net.dl", "drop", kInfo, field("cause", ...), ...)
+// `obs` is a nullable tlc::obs::Obs*. Fields are only evaluated when the
+// sink accepts the (component, level) pair.
+#if TLC_TRACE_ENABLED
+#define TLC_TRACE_EVENT(obs_ptr, component, event_name, trace_level, ...)    \
+  do {                                                                       \
+    auto* tlc_obs_ = (obs_ptr);                                              \
+    if (tlc_obs_ != nullptr &&                                               \
+        tlc_obs_->trace.enabled((component), (trace_level))) {               \
+      tlc_obs_->trace.emit((component), (event_name), {__VA_ARGS__},         \
+                           (trace_level));                                   \
+    }                                                                        \
+  } while (0)
+#define TLC_TRACE_EVENT_AT(obs_ptr, when, component, event_name,             \
+                           trace_level, ...)                                 \
+  do {                                                                       \
+    auto* tlc_obs_ = (obs_ptr);                                              \
+    if (tlc_obs_ != nullptr &&                                               \
+        tlc_obs_->trace.enabled((component), (trace_level))) {               \
+      tlc_obs_->trace.emit_at((when), (component), (event_name),             \
+                              {__VA_ARGS__}, (trace_level));                 \
+    }                                                                        \
+  } while (0)
+#else
+#define TLC_TRACE_EVENT(obs_ptr, component, event_name, trace_level, ...)  \
+  do {                                                                     \
+    if (false) {                                                           \
+      static_cast<void>(obs_ptr);                                          \
+      ::tlc::obs::TraceSink::noop((component), (event_name), {__VA_ARGS__},\
+                                  (trace_level));                          \
+    }                                                                      \
+  } while (0)
+#define TLC_TRACE_EVENT_AT(obs_ptr, when, component, event_name,           \
+                           trace_level, ...)                               \
+  do {                                                                     \
+    if (false) {                                                           \
+      static_cast<void>(obs_ptr);                                          \
+      static_cast<void>(when);                                             \
+      ::tlc::obs::TraceSink::noop((component), (event_name), {__VA_ARGS__},\
+                                  (trace_level));                          \
+    }                                                                      \
+  } while (0)
+#endif

@@ -10,7 +10,12 @@ EventId Scheduler::schedule_at(TimePoint when, std::function<void()> fn) {
     throw std::invalid_argument{"Scheduler::schedule_at: time in the past"};
   }
   const EventId id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  queue_.push_back(Event{when, next_seq_++, id, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
+  ++scheduled_;
+  if (m_scheduled_ != nullptr) m_scheduled_->inc();
+  if (queue_.size() > max_depth_) max_depth_ = queue_.size();
+  note_depth();
   return id;
 }
 
@@ -22,34 +27,57 @@ EventId Scheduler::schedule_after(Duration delay, std::function<void()> fn) {
 }
 
 void Scheduler::cancel(EventId id) {
-  cancelled_.push_back(id);
+  const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id);
+  if (it != cancelled_.end() && *it == id) return;  // already recorded
+  cancelled_.insert(it, id);
   ++cancelled_count_;
+  if (m_cancelled_ != nullptr) m_cancelled_->inc();
+  // Ids of events that already fired (or never existed) would otherwise sit
+  // in the list forever; once the list outgrows the pending-event count it
+  // must contain such stale ids — drop them.
+  if (cancelled_.size() > queue_.size()) compact_cancelled();
+}
+
+void Scheduler::compact_cancelled() {
+  std::vector<EventId> pending;
+  pending.reserve(queue_.size());
+  for (const Event& ev : queue_) pending.push_back(ev.id);
+  std::sort(pending.begin(), pending.end());
+  std::vector<EventId> kept;
+  std::set_intersection(cancelled_.begin(), cancelled_.end(),
+                        pending.begin(), pending.end(),
+                        std::back_inserter(kept));
+  cancelled_ = std::move(kept);
 }
 
 bool Scheduler::is_cancelled(EventId id) {
-  if (cancelled_.empty()) return false;
-  const auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
-  if (it == cancelled_.end()) return false;
+  const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id);
+  if (it == cancelled_.end() || *it != id) return false;
   cancelled_.erase(it);
   return true;
 }
 
 bool Scheduler::step() {
   while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
+    std::pop_heap(queue_.begin(), queue_.end(), Later{});
+    Event ev = std::move(queue_.back());
+    queue_.pop_back();
     if (is_cancelled(ev.id)) continue;
     now_ = ev.when;
+    ++dispatched_;
+    if (m_dispatched_ != nullptr) m_dispatched_->inc();
+    note_depth();
     ev.fn();
     return true;
   }
+  note_depth();
   return false;
 }
 
 std::uint64_t Scheduler::run_until(TimePoint deadline) {
   std::uint64_t dispatched = 0;
   while (!queue_.empty()) {
-    if (queue_.top().when > deadline) break;
+    if (queue_.front().when > deadline) break;
     if (step()) ++dispatched;
   }
   if (now_ < deadline) now_ = deadline;
@@ -65,6 +93,26 @@ std::uint64_t Scheduler::run() {
 std::size_t Scheduler::pending_events() const {
   return queue_.size() - std::min<std::size_t>(queue_.size(),
                                                cancelled_.size());
+}
+
+void Scheduler::set_observability(obs::Obs* obs) {
+  if (obs == nullptr) {
+    m_scheduled_ = nullptr;
+    m_dispatched_ = nullptr;
+    m_cancelled_ = nullptr;
+    m_depth_ = nullptr;
+    return;
+  }
+  m_scheduled_ = &obs->metrics.counter("sim.sched.scheduled");
+  m_dispatched_ = &obs->metrics.counter("sim.sched.dispatched");
+  m_cancelled_ = &obs->metrics.counter("sim.sched.cancelled");
+  m_depth_ = &obs->metrics.gauge("sim.sched.queue_depth");
+}
+
+void Scheduler::note_depth() {
+  if (m_depth_ != nullptr) {
+    m_depth_->set(static_cast<double>(queue_.size()));
+  }
 }
 
 }  // namespace tlc::sim

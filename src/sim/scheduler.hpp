@@ -8,10 +8,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/units.hpp"
+#include "obs/obs.hpp"
 
 namespace tlc::sim {
 
@@ -48,6 +48,25 @@ class Scheduler {
 
   [[nodiscard]] std::size_t pending_events() const;
 
+  /// Lifetime stats (monotonic over the scheduler's life).
+  [[nodiscard]] std::uint64_t events_scheduled() const { return scheduled_; }
+  [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
+  /// Cancel requests recorded (each distinct EventId counted once).
+  [[nodiscard]] std::uint64_t events_cancelled() const {
+    return cancelled_count_;
+  }
+  [[nodiscard]] std::size_t max_queue_depth() const { return max_depth_; }
+  /// Cancelled ids currently remembered; bounded by compaction to at most
+  /// the pending-event count between cancel() calls (testing hook).
+  [[nodiscard]] std::size_t cancelled_backlog() const {
+    return cancelled_.size();
+  }
+
+  /// Attach a metrics/trace domain: counters sim.sched.{scheduled,
+  /// dispatched,cancelled} and gauge sim.sched.queue_depth. Pass nullptr
+  /// to detach. The Obs must outlive the scheduler (or be detached first).
+  void set_observability(obs::Obs* obs);
+
  private:
   struct Event {
     TimePoint when;
@@ -65,11 +84,21 @@ class Scheduler {
   TimePoint now_ = kTimeZero;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t dispatched_ = 0;
   std::uint64_t cancelled_count_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<EventId> cancelled_;  // sorted on demand
+  std::size_t max_depth_ = 0;
+  std::vector<Event> queue_;        // binary heap ordered by Later
+  std::vector<EventId> cancelled_;  // sorted ascending, deduplicated
+
+  obs::Counter* m_scheduled_ = nullptr;
+  obs::Counter* m_dispatched_ = nullptr;
+  obs::Counter* m_cancelled_ = nullptr;
+  obs::Gauge* m_depth_ = nullptr;
 
   bool is_cancelled(EventId id);
+  void compact_cancelled();
+  void note_depth();
 };
 
 }  // namespace tlc::sim

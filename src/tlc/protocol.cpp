@@ -32,6 +32,20 @@ const char* to_string(ProtocolError e) {
   return "?";
 }
 
+const char* to_string(ProtocolState s) {
+  switch (s) {
+    case ProtocolState::kIdle:
+      return "idle";
+    case ProtocolState::kNegotiating:
+      return "negotiating";
+    case ProtocolState::kDone:
+      return "done";
+    case ProtocolState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
 ProtocolParty::ProtocolParty(Config config, const Strategy& strategy,
                              crypto::KeyPair keys, crypto::PublicKey peer_key,
                              Rng rng)
@@ -44,6 +58,39 @@ ProtocolParty::ProtocolParty(Config config, const Strategy& strategy,
   config_.plan.validate();
   if (!keys_.valid() || !peer_key_.valid()) {
     throw std::invalid_argument{"ProtocolParty: keys required"};
+  }
+  component_ = std::string{"tlc."} + to_string(config_.role);
+  if (config_.obs != nullptr) {
+    obs::MetricsRegistry& m = config_.obs->metrics;
+    m_msgs_sent_ = &m.counter("tlc.protocol.msgs_sent");
+    m_wire_bytes_sent_ = &m.counter("tlc.protocol.wire_bytes_sent");
+    m_wire_bytes_received_ = &m.counter("tlc.protocol.wire_bytes_received");
+    m_exchanges_done_ = &m.counter("tlc.protocol.exchanges_done");
+    m_exchanges_failed_ = &m.counter("tlc.protocol.exchanges_failed");
+    m_rounds_ = &m.histogram("tlc.protocol.rounds",
+                             {1.0, 2.0, 4.0, 8.0, 16.0, 32.0});
+  }
+}
+
+void ProtocolParty::transition(ProtocolState to) {
+  const ProtocolState from = state_;
+  state_ = to;
+  if (from == to) return;
+  TLC_TRACE_EVENT(config_.obs, component_, "state", obs::TraceLevel::kInfo,
+                  obs::field("from", to_string(from)),
+                  obs::field("to", to_string(to)),
+                  obs::field("round", round_),
+                  obs::field("error", to_string(error_)));
+  if (to == ProtocolState::kDone) {
+    if (m_exchanges_done_ != nullptr) m_exchanges_done_->inc();
+    if (m_rounds_ != nullptr) m_rounds_->observe(static_cast<double>(round_));
+  } else if (to == ProtocolState::kFailed) {
+    if (m_exchanges_failed_ != nullptr) m_exchanges_failed_->inc();
+    if (config_.obs != nullptr) {
+      config_.obs->metrics
+          .counter(std::string{"tlc.protocol.error."} + to_string(error_))
+          .inc();
+    }
   }
 }
 
@@ -60,13 +107,18 @@ void ProtocolParty::tighten_bounds(Bytes a, Bytes b) {
 }
 
 std::optional<Message> ProtocolParty::fail(ProtocolError error) {
-  state_ = ProtocolState::kFailed;
   error_ = error;
+  transition(ProtocolState::kFailed);
   return std::nullopt;
 }
 
 Message ProtocolParty::track(Message msg) {
-  sent_sizes_.push_back(encode_message(msg).size());
+  const std::size_t size = encode_message(msg).size();
+  sent_sizes_.push_back(size);
+  if (m_msgs_sent_ != nullptr) {
+    m_msgs_sent_->inc();
+    m_wire_bytes_sent_->inc(size);
+  }
   return msg;
 }
 
@@ -125,14 +177,17 @@ Message ProtocolParty::start() {
   if (state_ != ProtocolState::kIdle) {
     throw std::logic_error{"ProtocolParty::start called twice"};
   }
-  state_ = ProtocolState::kNegotiating;
   round_ = 1;
+  transition(ProtocolState::kNegotiating);
   return track(Message{make_cdr()});
 }
 
 std::optional<Message> ProtocolParty::on_message(const Message& msg) {
   if (state_ == ProtocolState::kDone || state_ == ProtocolState::kFailed) {
     return std::nullopt;
+  }
+  if (m_wire_bytes_received_ != nullptr) {
+    m_wire_bytes_received_->inc(encode_message(msg).size());
   }
   return std::visit(
       [this](const auto& m) -> std::optional<Message> {
@@ -156,8 +211,8 @@ std::optional<Message> ProtocolParty::handle_cdr(const CdrMsg& msg) {
   last_peer_seq_ = msg.seq;
 
   if (state_ == ProtocolState::kIdle) {
-    state_ = ProtocolState::kNegotiating;
     round_ = 1;
+    transition(ProtocolState::kNegotiating);
   } else {
     // A CDR while negotiating means the peer rejected our last claim and
     // is re-claiming: a new round begins. Tighten our bounds with our
@@ -215,7 +270,7 @@ std::optional<Message> ProtocolParty::handle_cda(const CdaMsg& msg) {
     PocMsg poc = make_poc(msg, charged);
     charged_ = charged;
     poc_ = poc;
-    state_ = ProtocolState::kDone;
+    transition(ProtocolState::kDone);
     return track(Message{std::move(poc)});
   }
   tighten_bounds(own_claim_, msg.claim);
@@ -248,7 +303,7 @@ std::optional<Message> ProtocolParty::handle_poc(const PocMsg& msg) {
 
   charged_ = msg.charged;
   poc_ = msg;
-  state_ = ProtocolState::kDone;
+  transition(ProtocolState::kDone);
   return std::nullopt;
 }
 

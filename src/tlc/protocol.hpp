@@ -12,9 +12,11 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "charging/data_plan.hpp"
+#include "obs/obs.hpp"
 #include "tlc/messages.hpp"
 #include "tlc/negotiation.hpp"
 #include "tlc/strategy.hpp"
@@ -41,6 +43,7 @@ enum class ProtocolError : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(ProtocolError e);
+[[nodiscard]] const char* to_string(ProtocolState s);
 
 class ProtocolParty {
  public:
@@ -51,6 +54,13 @@ class ProtocolParty {
     charging::Direction direction = charging::Direction::kUplink;
     LocalView view;
     int max_rounds = 64;
+    /// Optional observability. Both parties may share one Obs: counters
+    /// tlc.protocol.{msgs_sent,wire_bytes_sent,wire_bytes_received,
+    /// exchanges_done,exchanges_failed,error.<name>} aggregate across
+    /// parties, plus histogram tlc.protocol.rounds. Trace component
+    /// "tlc.<role>" emits one "state" event per state transition
+    /// (from/to/round/error) at info.
+    obs::Obs* obs = nullptr;
   };
 
   /// `strategy` must outlive the party. Keys are cheap shared handles.
@@ -88,6 +98,9 @@ class ProtocolParty {
   void tighten_bounds(Bytes a, Bytes b);
   std::optional<Message> fail(ProtocolError error);
   Message track(Message msg);
+  /// Single choke point for state changes: updates state_ and emits the
+  /// per-transition trace event plus terminal-state counters.
+  void transition(ProtocolState to);
 
   Config config_;
   const Strategy& strategy_;
@@ -109,6 +122,14 @@ class ProtocolParty {
   Bytes charged_;
   std::optional<PocMsg> poc_;
   std::vector<std::size_t> sent_sizes_;
+
+  std::string component_;
+  obs::Counter* m_msgs_sent_ = nullptr;
+  obs::Counter* m_wire_bytes_sent_ = nullptr;
+  obs::Counter* m_wire_bytes_received_ = nullptr;
+  obs::Counter* m_exchanges_done_ = nullptr;
+  obs::Counter* m_exchanges_failed_ = nullptr;
+  obs::Histogram* m_rounds_ = nullptr;
 };
 
 /// Drives two parties to completion over an in-memory channel (no latency).

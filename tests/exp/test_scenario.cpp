@@ -4,6 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "net/packet.hpp"
+
 namespace tlc::exp {
 namespace {
 
@@ -176,6 +182,57 @@ TEST(Scenario, DifferentSeedsVary) {
   const auto a = run_scenario(quick(AppKind::kWebcamUdp));
   const auto b = run_scenario(other);
   EXPECT_NE(a.cycles[0].truth.received, b.cycles[0].truth.received);
+}
+
+TEST(Scenario, MetricsSnapshotPopulated) {
+  const auto result = run_scenario(quick(AppKind::kVridge));
+  EXPECT_FALSE(result.metrics.counters.empty());
+  EXPECT_GT(result.metrics.counter_or_zero("epc.gw.charged_dl_bytes"), 0u);
+  EXPECT_GT(result.metrics.counter_or_zero("net.dl.delivered_bytes"), 0u);
+  EXPECT_GT(result.metrics.counter_or_zero("sim.sched.dispatched"), 0u);
+  EXPECT_GT(result.metrics.counter_or_zero("monitor.rrc.reports"), 0u);
+}
+
+TEST(Scenario, DownlinkGapDecomposesByDropCause) {
+  // The gateway charges DL bytes before the radio leg, so on a lossy,
+  // handover-heavy run: charged − delivered == Σ per-cause drop bytes
+  // (all post-charge drops are attributed; residual would mean traffic
+  // still queued at run end, which the cool-down drains).
+  ScenarioConfig cfg = quick(AppKind::kVridge);
+  cfg.dip_rate_per_s = 0.05;
+  cfg.handover_period_s = 5.0;
+  const auto result = run_scenario(cfg);
+  const std::uint64_t charged =
+      result.metrics.counter_or_zero("epc.gw.charged_dl_bytes");
+  const std::uint64_t delivered =
+      result.metrics.counter_or_zero("net.dl.delivered_bytes");
+  ASSERT_GE(charged, delivered);
+  std::uint64_t drop_sum = 0;
+  for (std::size_t i = 1; i < net::kDropCauseCount; ++i) {
+    drop_sum += result.metrics.counter_or_zero(
+        std::string{"net.dl.drop."} +
+        net::to_string(static_cast<net::DropCause>(i)) + "_bytes");
+  }
+  EXPECT_GT(drop_sum, 0u);  // the scenario really is lossy
+  EXPECT_EQ(charged - delivered, drop_sum);
+}
+
+TEST(Scenario, TraceJsonlIsDeterministicForSameSeed) {
+  const auto trace_of = [](const std::string& path) {
+    ScenarioConfig cfg = quick(AppKind::kWebcamUdp);
+    cfg.dip_rate_per_s = 0.05;
+    cfg.trace_jsonl_path = path;
+    (void)run_scenario(cfg);
+    std::ifstream in{path};
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::remove(path.c_str());
+    return buf.str();
+  };
+  const std::string a = trace_of(::testing::TempDir() + "scenario_a.jsonl");
+  const std::string b = trace_of(::testing::TempDir() + "scenario_b.jsonl");
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);  // byte-identical traces for identical seeds
 }
 
 TEST(Scenario, ToMbPerHrNormalization) {

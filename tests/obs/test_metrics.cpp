@@ -1,0 +1,119 @@
+// Unit tests for the metrics registry: instrument semantics, reference
+// stability, snapshot isolation, and the canonical JSON export.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, TracksValueAndHighWatermark) {
+  Gauge g;
+  g.set(3.0);
+  g.set(7.5);
+  g.set(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  EXPECT_DOUBLE_EQ(g.max(), 7.5);
+  g.add(10.0);
+  EXPECT_DOUBLE_EQ(g.value(), 12.0);
+  EXPECT_DOUBLE_EQ(g.max(), 12.0);
+}
+
+TEST(Histogram, BucketsByInclusiveUpperBound) {
+  Histogram h{{1.0, 10.0}};
+  h.observe(1.0);    // == bound 1 → bucket 0
+  h.observe(0.5);    // bucket 0
+  h.observe(1.5);    // bucket 1
+  h.observe(10.0);   // == bound 10 → bucket 1
+  h.observe(100.0);  // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 2u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 113.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(Histogram, RejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({5.0, 1.0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(reg.counter("x").value(), 1u);
+}
+
+TEST(MetricsRegistry, ReferencesSurviveLaterRegistrations) {
+  MetricsRegistry reg;
+  Counter& first = reg.counter("first");
+  for (int i = 0; i < 1000; ++i) {
+    reg.counter("other." + std::to_string(i));
+  }
+  first.inc(7);
+  EXPECT_EQ(reg.counter("first").value(), 7u);
+}
+
+TEST(MetricsRegistry, HistogramBoundsFixedAtFirstRegistration) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {1.0, 2.0});
+  Histogram& again = reg.histogram("h", {99.0});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.upper_bounds().size(), 2u);
+}
+
+TEST(MetricsRegistry, SnapshotIsIsolatedFromLaterMutation) {
+  MetricsRegistry reg;
+  reg.counter("c").inc(5);
+  reg.gauge("g").set(1.5);
+  const MetricsSnapshot snap = reg.snapshot();
+  reg.counter("c").inc(100);
+  reg.gauge("g").set(9.0);
+  EXPECT_EQ(snap.counter_or_zero("c"), 5u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g").value, 1.5);
+}
+
+TEST(MetricsSnapshot, CounterOrZeroForUnknownName) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.snapshot().counter_or_zero("never.registered"), 0u);
+}
+
+TEST(MetricsSnapshot, CanonicalJsonShape) {
+  MetricsRegistry reg;
+  reg.counter("b").inc(2);
+  reg.counter("a").inc(1);
+  reg.gauge("g").set(2.0);
+  reg.histogram("h", {1.0}).observe(0.5);
+  EXPECT_EQ(reg.to_json(),
+            "{\"counters\":{\"a\":1,\"b\":2},"
+            "\"gauges\":{\"g\":{\"value\":2,\"max\":2}},"
+            "\"histograms\":{\"h\":{\"count\":1,\"sum\":0.5,\"min\":0.5,"
+            "\"max\":0.5,\"buckets\":[{\"le\":1,\"count\":1},"
+            "{\"le\":\"inf\",\"count\":0}]}}}");
+}
+
+TEST(MetricsSnapshot, JsonIsDeterministicAcrossInsertionOrder) {
+  MetricsRegistry forward;
+  forward.counter("a").inc();
+  forward.counter("b").inc();
+  MetricsRegistry backward;
+  backward.counter("b").inc();
+  backward.counter("a").inc();
+  EXPECT_EQ(forward.to_json(), backward.to_json());
+}
+
+}  // namespace
+}  // namespace tlc::obs

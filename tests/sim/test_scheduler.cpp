@@ -143,5 +143,54 @@ TEST(Scheduler, SameTimeAsNowIsAllowed) {
   EXPECT_TRUE(inner);
 }
 
+TEST(Scheduler, LifetimeStats) {
+  Scheduler s;
+  const EventId a = s.schedule_after(seconds{1}, [] {});
+  s.schedule_after(seconds{2}, [] {});
+  s.schedule_after(seconds{3}, [] {});
+  EXPECT_EQ(s.events_scheduled(), 3u);
+  EXPECT_EQ(s.max_queue_depth(), 3u);
+  s.cancel(a);
+  s.cancel(a);  // double-cancel counts once
+  EXPECT_EQ(s.events_cancelled(), 1u);
+  s.run();
+  EXPECT_EQ(s.events_dispatched(), 2u);  // cancelled event not dispatched
+  EXPECT_EQ(s.max_queue_depth(), 3u);
+}
+
+TEST(Scheduler, CancelledBacklogStaysBounded) {
+  // Cancel-after-fire ids must not accumulate forever: the cancelled set
+  // is compacted against the event queue whenever it outgrows it.
+  Scheduler s;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(s.schedule_after(seconds{1}, [] {}));
+  }
+  for (const EventId id : ids) s.cancel(id);
+  s.run();
+  EXPECT_EQ(s.events_dispatched(), 0u);
+  EXPECT_EQ(s.cancelled_backlog(), 0u);  // erased as the queue drained
+  // Cancelling ids that fired (or never existed) long ago compacts against
+  // the now-empty queue instead of accumulating.
+  for (const EventId id : ids) s.cancel(id);
+  EXPECT_LE(s.cancelled_backlog(), 1u);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Scheduler, ObservabilityCountersTrackActivity) {
+  obs::Obs obs;
+  Scheduler s;
+  s.set_observability(&obs);
+  const EventId a = s.schedule_after(seconds{1}, [] {});
+  s.schedule_after(seconds{2}, [] {});
+  s.cancel(a);
+  s.run();
+  const auto snap = obs.metrics.snapshot();
+  EXPECT_EQ(snap.counter_or_zero("sim.sched.scheduled"), 2u);
+  EXPECT_EQ(snap.counter_or_zero("sim.sched.cancelled"), 1u);
+  EXPECT_EQ(snap.counter_or_zero("sim.sched.dispatched"), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("sim.sched.queue_depth").max, 2.0);
+}
+
 }  // namespace
 }  // namespace tlc::sim

@@ -58,6 +58,19 @@ class ProtocolFixture : public ::testing::Test {
     return cfg;
   }
 
+  /// Observability-wired variants (the parties may share one Obs).
+  static ProtocolParty::Config edge_config(LocalView view, obs::Obs* obs) {
+    ProtocolParty::Config cfg = edge_config(view);
+    cfg.obs = obs;
+    return cfg;
+  }
+  static ProtocolParty::Config operator_config(LocalView view,
+                                               obs::Obs* obs) {
+    ProtocolParty::Config cfg = operator_config(view);
+    cfg.obs = obs;
+    return cfg;
+  }
+
   /// Builds a finished, valid PoC (operator-initiated, both optimal).
   static PocMsg make_valid_poc(LocalView edge_view, LocalView op_view,
                                std::uint64_t seed = 11) {

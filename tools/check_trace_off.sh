@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# CI-style check: the TLC_TRACE=OFF build (trace macros compiled to no-ops)
+# must stay warning-clean with the full warning set promoted to errors.
+# The no-op macros still "use" every argument inside an `if (false)` block,
+# so a field expression that only exists for tracing cannot regress into an
+# unused-variable warning when tracing is compiled out.
+#
+# Benchmarks are excluded: bench/ carries pre-existing sign-conversion
+# warnings unrelated to tracing.
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-trace-off}"
+
+cmake -S "$repo_root" -B "$build_dir" \
+  -DTLC_TRACE=OFF \
+  -DTLC_WARNINGS_AS_ERRORS=ON \
+  -DTLC_BUILD_BENCH=OFF \
+  >/dev/null
+
+cmake --build "$build_dir" -j "$(nproc)"
+
+echo "OK: TLC_TRACE=OFF build is warning-clean (-Werror)."

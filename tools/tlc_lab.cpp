@@ -12,10 +12,13 @@
 #include <cstring>
 #include <string>
 
+#include <algorithm>
+
 #include "common/format.hpp"
 #include "common/stats.hpp"
 #include "exp/metrics.hpp"
 #include "exp/scenario.hpp"
+#include "net/packet.hpp"
 
 using namespace tlc;
 using namespace tlc::exp;
@@ -38,6 +41,9 @@ namespace {
       "  --tamper-op=<f>            operator CDR inflation factor (default 1)\n"
       "  --tamper-edge-api=<f>      edge user-space API factor (default 1)\n"
       "  --dl-source=rrc|api|system operator DL monitor (default rrc)\n"
+      "  --handover=<secs>          seconds between cell handovers (default 0)\n"
+      "  --trace=<file>             stream the structured trace to a JSONL file\n"
+      "  --metrics                  print the metrics snapshot + gap cross-check\n"
       "  --help                     this text\n");
   std::exit(code);
 }
@@ -68,11 +74,16 @@ int main(int argc, char** argv) {
   ScenarioConfig cfg;
   cfg.cycles = 4;
   cfg.cycle_length = std::chrono::seconds{300};
+  bool print_metrics = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     std::string value;
     if (std::strcmp(arg, "--help") == 0) usage(0);
+    if (std::strcmp(arg, "--metrics") == 0) {
+      print_metrics = true;
+      continue;
+    }
     if (parse_flag(arg, "--app", &value)) {
       if (value == "rtsp") cfg.app = AppKind::kWebcamRtsp;
       else if (value == "udp") cfg.app = AppKind::kWebcamUdp;
@@ -101,6 +112,11 @@ int main(int argc, char** argv) {
       cfg.operator_cdr_tamper = parse_double(value, "--tamper-op");
     } else if (parse_flag(arg, "--tamper-edge-api", &value)) {
       cfg.edge_api_tamper = parse_double(value, "--tamper-edge-api");
+    } else if (parse_flag(arg, "--handover", &value)) {
+      cfg.handover_period_s = parse_double(value, "--handover");
+      if (cfg.handover_period_s < 0) usage(2);
+    } else if (parse_flag(arg, "--trace", &value)) {
+      cfg.trace_jsonl_path = value;
     } else if (parse_flag(arg, "--dl-source", &value)) {
       if (value == "rrc") {
         cfg.dl_source = monitor::OperatorDlSource::kRrcCounterCheck;
@@ -157,5 +173,41 @@ int main(int argc, char** argv) {
               format_percent(legacy_eps.mean()).c_str(),
               format_percent(random_eps.mean()).c_str(),
               format_percent(optimal_eps.mean()).c_str());
+
+  if (print_metrics) {
+    std::printf("\n── metrics snapshot ──\n");
+    result.metrics.print(stdout);
+
+    // Cross-check: the downlink charging gap decomposed by drop cause.
+    // Every byte the gateway charged was either delivered over the air or
+    // dropped after the charging point — the per-cause counters must sum
+    // to charged − delivered (residual 0 once cool-down drains the queue).
+    const std::uint64_t charged =
+        result.metrics.counter_or_zero("epc.gw.charged_dl_bytes");
+    const std::uint64_t delivered =
+        result.metrics.counter_or_zero("net.dl.delivered_bytes");
+    const std::uint64_t gap = charged - std::min(charged, delivered);
+    std::printf("\n── downlink charging-gap decomposition ──\n");
+    std::printf("%-28s %12llu\n", "charged (gateway)",
+                static_cast<unsigned long long>(charged));
+    std::printf("%-28s %12llu\n", "delivered (air interface)",
+                static_cast<unsigned long long>(delivered));
+    std::printf("%-28s %12llu\n", "gap (charged - delivered)",
+                static_cast<unsigned long long>(gap));
+    std::uint64_t drop_sum = 0;
+    for (std::size_t i = 1; i < net::kDropCauseCount; ++i) {
+      const auto cause = static_cast<net::DropCause>(i);
+      const std::uint64_t bytes = result.metrics.counter_or_zero(
+          std::string{"net.dl.drop."} + net::to_string(cause) + "_bytes");
+      if (bytes == 0) continue;
+      drop_sum += bytes;
+      std::printf("  drop: %-21s %12llu\n", net::to_string(cause),
+                  static_cast<unsigned long long>(bytes));
+    }
+    std::printf("%-28s %12llu\n", "sum of per-cause drops",
+                static_cast<unsigned long long>(drop_sum));
+    std::printf("%-28s %12lld  (in-flight/queued at end)\n", "residual",
+                static_cast<long long>(gap) - static_cast<long long>(drop_sum));
+  }
   return 0;
 }

@@ -11,12 +11,13 @@
 #include "common/format.hpp"
 
 #include "exp/metrics.hpp"
-#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
 
 using namespace tlc;
 using namespace tlc::exp;
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = sweep_options_from_cli(argc, argv);
   std::printf("## Figure 3: record gap per hour vs background traffic "
               "(RSS >= -95 dBm)\n\n");
 
@@ -26,18 +27,26 @@ int main() {
   constexpr double kPaperHigh[] = {98.16, 252.0, 982.8};
   constexpr double kBackgrounds[] = {0, 100, 120, 140, 160};
 
-  Table table{{"scenario", "bg (Mbps)", "loss", "record gap (MB/hr)",
-               "paper @0 / @160"}};
-  for (std::size_t a = 0; a < std::size(kApps); ++a) {
+  std::vector<ScenarioConfig> configs;
+  for (AppKind app : kApps) {
     for (double bg : kBackgrounds) {
       ScenarioConfig cfg;
-      cfg.app = kApps[a];
+      cfg.app = app;
       cfg.background_mbps = bg;
       cfg.cycles = 3;
       cfg.cycle_length = std::chrono::seconds{300};
       cfg.seed = 31 + static_cast<std::uint64_t>(bg);
-      const ScenarioResult result = run_scenario(cfg);
+      configs.push_back(cfg);
+    }
+  }
+  const std::vector<ScenarioResult> results = run_scenarios(configs, sweep);
 
+  Table table{{"scenario", "bg (Mbps)", "loss", "record gap (MB/hr)",
+               "paper @0 / @160"}};
+  for (std::size_t a = 0; a < std::size(kApps); ++a) {
+    for (std::size_t b = 0; b < std::size(kBackgrounds); ++b) {
+      const ScenarioResult& result =
+          results[a * std::size(kBackgrounds) + b];
       double loss = 0;
       double gap_mb_hr = 0;
       for (const auto& c : result.cycles) {
@@ -46,7 +55,7 @@ int main() {
       }
       const double n = static_cast<double>(result.cycles.size());
       table.add_row(
-          {std::string(to_string(kApps[a])), fmt(bg, 0),
+          {std::string(to_string(kApps[a])), fmt(kBackgrounds[b], 0),
            format_percent(loss / n), fmt(gap_mb_hr / n, 2),
            fmt(kPaperLow[a], 2) + " / " + fmt(kPaperHigh[a], 1)});
     }

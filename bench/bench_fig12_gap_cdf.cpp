@@ -15,7 +15,8 @@
 using namespace tlc;
 using namespace tlc::exp;
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = sweep_options_from_cli(argc, argv);
   constexpr AppKind kApps[] = {AppKind::kWebcamRtsp, AppKind::kWebcamUdp,
                                AppKind::kVridge, AppKind::kGaming};
   constexpr char kPanel[] = {'a', 'b', 'c', 'd'};
@@ -23,7 +24,7 @@ int main() {
   for (std::size_t i = 0; i < std::size(kApps); ++i) {
     std::printf("## Figure 12%c: %s\n\n", kPanel[i],
                 std::string(to_string(kApps[i])).c_str());
-    const auto results = run_grid(kApps[i]);
+    const auto results = run_grid(kApps[i], {}, sweep);
     for (Scheme scheme :
          {Scheme::kLegacy, Scheme::kTlcRandom, Scheme::kTlcOptimal}) {
       const GapSamples gaps = collect_gaps(results, scheme);

@@ -9,17 +9,37 @@
 #include "common/format.hpp"
 
 #include "exp/metrics.hpp"
-#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
 
 using namespace tlc;
 using namespace tlc::exp;
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = sweep_options_from_cli(argc, argv);
   constexpr AppKind kApps[] = {AppKind::kWebcamRtsp, AppKind::kWebcamUdp,
                                AppKind::kVridge, AppKind::kGaming};
   constexpr char kPanel[] = {'a', 'b', 'c', 'd'};
   constexpr double kBackgrounds[] = {0, 100, 120, 140, 160};
+  constexpr std::uint64_t kSeeds[] = {1, 2, 3};
 
+  // One flat fan-out over app × bg × seed, aggregated per (app, bg) below.
+  std::vector<ScenarioConfig> configs;
+  for (AppKind app : kApps) {
+    for (double bg : kBackgrounds) {
+      for (std::uint64_t seed : kSeeds) {
+        ScenarioConfig cfg;
+        cfg.app = app;
+        cfg.background_mbps = bg;
+        cfg.cycles = 3;
+        cfg.cycle_length = std::chrono::seconds{300};
+        cfg.seed = seed;
+        configs.push_back(cfg);
+      }
+    }
+  }
+  const std::vector<ScenarioResult> results = run_scenarios(configs, sweep);
+
+  std::size_t slot = 0;
   for (std::size_t i = 0; i < std::size(kApps); ++i) {
     std::printf("## Figure 13%c: %s — gap ratio vs congestion\n\n", kPanel[i],
                 std::string(to_string(kApps[i])).c_str());
@@ -29,14 +49,8 @@ int main() {
       double random = 0;
       double optimal = 0;
       int n = 0;
-      for (std::uint64_t seed : {1, 2, 3}) {
-        ScenarioConfig cfg;
-        cfg.app = kApps[i];
-        cfg.background_mbps = bg;
-        cfg.cycles = 3;
-        cfg.cycle_length = std::chrono::seconds{300};
-        cfg.seed = seed;
-        const ScenarioResult result = run_scenario(cfg);
+      for (std::size_t s = 0; s < std::size(kSeeds); ++s) {
+        const ScenarioResult& result = results[slot++];
         for (const auto& c : result.cycles) {
           legacy += c.legacy_gap().ratio;
           random += c.random_gap().ratio;

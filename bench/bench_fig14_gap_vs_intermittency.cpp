@@ -11,20 +11,17 @@
 #include <map>
 
 #include "exp/metrics.hpp"
-#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
 
 using namespace tlc;
 using namespace tlc::exp;
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = sweep_options_from_cli(argc, argv);
   std::printf("## Figure 14: gap ratio vs intermittent disconnectivity "
               "(WebCam UDP)\n\n");
 
-  struct Bucket {
-    OnlineStats legacy, random, optimal;
-  };
-  std::map<int, Bucket> buckets;  // key: round(η in %)
-
+  std::vector<ScenarioConfig> configs;
   for (double dip_rate : {0.02, 0.04, 0.06, 0.08, 0.10, 0.12}) {
     for (std::uint64_t seed : {1, 2, 3, 4}) {
       ScenarioConfig cfg;
@@ -33,16 +30,26 @@ int main() {
       cfg.cycles = 3;
       cfg.cycle_length = std::chrono::seconds{300};
       cfg.seed = seed * 37 + static_cast<std::uint64_t>(dip_rate * 1000);
-      const ScenarioResult result = run_scenario(cfg);
-      for (const auto& c : result.cycles) {
-        const int eta_pct =
-            static_cast<int>(std::lround(c.disconnect_ratio * 100.0));
-        if (eta_pct < 1) continue;
-        Bucket& b = buckets[eta_pct];
-        b.legacy.add(c.legacy_gap().ratio);
-        b.random.add(c.random_gap().ratio);
-        b.optimal.add(c.optimal_gap().ratio);
-      }
+      configs.push_back(cfg);
+    }
+  }
+
+  struct Bucket {
+    OnlineStats legacy, random, optimal;
+  };
+  std::map<int, Bucket> buckets;  // key: round(η in %)
+
+  // Aggregation stays in submission order, so bucket contents (and the
+  // printed table) are identical to the serial run.
+  for (const ScenarioResult& result : run_scenarios(configs, sweep)) {
+    for (const auto& c : result.cycles) {
+      const int eta_pct =
+          static_cast<int>(std::lround(c.disconnect_ratio * 100.0));
+      if (eta_pct < 1) continue;
+      Bucket& b = buckets[eta_pct];
+      b.legacy.add(c.legacy_gap().ratio);
+      b.random.add(c.random_gap().ratio);
+      b.optimal.add(c.optimal_gap().ratio);
     }
   }
 

@@ -16,7 +16,8 @@
 using namespace tlc;
 using namespace tlc::exp;
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = sweep_options_from_cli(argc, argv);
   std::printf("## Figure 15: TLC-optimal gap reduction vs plan parameter "
               "c\n\n");
 
@@ -32,7 +33,7 @@ int main() {
     // grows. (Uplink is the mirror image — c·loss — so mixing directions
     // would cancel the trend; the paper's heavy-traffic panel is DL too.)
     const std::vector<ScenarioResult> results =
-        run_grid(AppKind::kVridge, opt);
+        run_grid(AppKind::kVridge, opt, sweep);
 
     const SampleSet mu = collect_gap_reduction(results);
     if (mu.empty()) {

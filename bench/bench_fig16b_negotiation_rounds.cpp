@@ -11,7 +11,8 @@
 using namespace tlc;
 using namespace tlc::exp;
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = sweep_options_from_cli(argc, argv);
   std::printf("## Figure 16b: negotiation rounds by scheme\n\n");
 
   constexpr AppKind kApps[] = {AppKind::kWebcamUdp, AppKind::kWebcamRtsp,
@@ -23,7 +24,7 @@ int main() {
   for (std::size_t i = 0; i < std::size(kApps); ++i) {
     GridOptions opt;
     opt.seeds = {1, 2, 3};
-    const auto results = run_grid(kApps[i], opt);
+    const auto results = run_grid(kApps[i], opt, sweep);
     const SampleSet optimal = collect_rounds(results, Scheme::kTlcOptimal);
     const SampleSet random = collect_rounds(results, Scheme::kTlcRandom);
     table.add_row({std::string(to_string(kApps[i])),

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "crypto/sha256.hpp"
 #include "exp/device_profile.hpp"
 #include "tlc/protocol.hpp"
 #include "tlc/timed_exchange.hpp"
@@ -93,6 +94,32 @@ void BM_RsaSign(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RsaSign)->Arg(1024)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+// The signing path hashes every signable encoding; sha256() reuses a
+// thread-local EVP context. BM_Sha256FreshContext measures the old
+// behaviour (context allocated + initialised per call) for comparison.
+void BM_Sha256OneShot(benchmark::State& state) {
+  const ByteVec msg(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(msg));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256OneShot)->Arg(200)->Arg(4096)->Unit(benchmark::kNanosecond);
+
+void BM_Sha256FreshContext(benchmark::State& state) {
+  const ByteVec msg(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    crypto::Sha256 hasher;
+    hasher.update(msg);
+    benchmark::DoNotOptimize(hasher.finish());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256FreshContext)
+    ->Arg(200)
+    ->Arg(4096)
+    ->Unit(benchmark::kNanosecond);
 
 void BM_RsaVerify(benchmark::State& state) {
   const auto keys = crypto::KeyPair::generate(

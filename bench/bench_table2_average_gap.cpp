@@ -19,7 +19,8 @@
 using namespace tlc;
 using namespace tlc::exp;
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = sweep_options_from_cli(argc, argv);
   std::printf("## Table 2: average charging gap (c = 0.5)\n\n");
 
   constexpr AppKind kApps[] = {AppKind::kWebcamRtsp, AppKind::kWebcamUdp,
@@ -32,7 +33,7 @@ int main() {
                "eps", "random D", "eps", "paper D (leg/opt/rnd)"}};
   double total_reduction_optimal = 0;
   for (std::size_t i = 0; i < std::size(kApps); ++i) {
-    const auto results = run_grid(kApps[i]);
+    const auto results = run_grid(kApps[i], {}, sweep);
     const GapSamples legacy = collect_gaps(results, Scheme::kLegacy);
     const GapSamples optimal = collect_gaps(results, Scheme::kTlcOptimal);
     const GapSamples random = collect_gaps(results, Scheme::kTlcRandom);

@@ -1,44 +1,8 @@
 // Shared evaluation-dataset builder for the Fig. 12 / Table 2 / Fig. 13-15
-// bench binaries: mirrors the paper's methodology of repeating each
-// scenario across congestion levels, intermittency levels, and seeds, then
-// settling every simulated cycle under all three charging schemes.
+// bench binaries. The grid construction and the (parallel) execution engine
+// now live in the library proper — src/exp/sweep.{hpp,cpp} — so tests and
+// tools can drive the same sweeps; this header remains as the bench-local
+// include point.
 #pragma once
 
-#include <vector>
-
-#include "exp/scenario.hpp"
-
-namespace tlc::exp {
-
-struct GridOptions {
-  std::vector<double> backgrounds{0, 100, 140, 160};
-  std::vector<double> dip_rates{0.0, 0.03};
-  std::vector<std::uint64_t> seeds{1, 2};
-  double loss_weight = 0.5;
-  int cycles = 3;
-  Duration cycle_length = std::chrono::seconds{300};
-};
-
-inline std::vector<ScenarioResult> run_grid(AppKind app,
-                                            const GridOptions& opt = {}) {
-  std::vector<ScenarioResult> out;
-  for (double bg : opt.backgrounds) {
-    for (double dip : opt.dip_rates) {
-      for (std::uint64_t seed : opt.seeds) {
-        ScenarioConfig cfg;
-        cfg.app = app;
-        cfg.background_mbps = bg;
-        cfg.dip_rate_per_s = dip;
-        cfg.loss_weight = opt.loss_weight;
-        cfg.cycles = opt.cycles;
-        cfg.cycle_length = opt.cycle_length;
-        cfg.seed = seed * 1000 + static_cast<std::uint64_t>(bg) +
-                   static_cast<std::uint64_t>(dip * 100);
-        out.push_back(run_scenario(cfg));
-      }
-    }
-  }
-  return out;
-}
-
-}  // namespace tlc::exp
+#include "exp/sweep.hpp"

@@ -2,12 +2,18 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <string>
 
 namespace tlc {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+// The sink and clock are the only mutable process-global state the library
+// has; parallel scenario sweeps may log concurrently (e.g. a trace file
+// that fails to open), so reads and writes are serialised. The hooks are
+// cold by design — never on a packet path.
+std::mutex g_hooks_mutex;
 LogSinkFn g_sink;    // empty = stderr
 LogClockFn g_clock;  // empty = no sim-time prefix
 
@@ -33,13 +39,20 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
-void set_log_sink(LogSinkFn sink) { g_sink = std::move(sink); }
+void set_log_sink(LogSinkFn sink) {
+  const std::lock_guard<std::mutex> lock{g_hooks_mutex};
+  g_sink = std::move(sink);
+}
 
-void set_log_clock(LogClockFn clock) { g_clock = std::move(clock); }
+void set_log_clock(LogClockFn clock) {
+  const std::lock_guard<std::mutex> lock{g_hooks_mutex};
+  g_clock = std::move(clock);
+}
 
 namespace detail {
 
 void log_line(LogLevel level, std::string_view message) {
+  const std::lock_guard<std::mutex> lock{g_hooks_mutex};
   std::string line = "[tlc ";
   line += level_name(level);
   line += "]";

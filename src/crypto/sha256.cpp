@@ -9,7 +9,10 @@
 namespace tlc::crypto {
 
 Digest sha256(std::span<const std::uint8_t> data) {
-  Sha256 hasher;
+  // finish() re-initialises the context, so one hasher per thread serves
+  // every one-shot call without an EVP_MD_CTX allocation per digest (the
+  // CDR→CDA→PoC signing path hashes at every message).
+  thread_local Sha256 hasher;
   hasher.update(data);
   return hasher.finish();
 }

@@ -10,7 +10,8 @@ namespace tlc::crypto {
 
 using Digest = std::array<std::uint8_t, 32>;
 
-/// One-shot SHA-256 over `data`.
+/// One-shot SHA-256 over `data`. Served by a thread-local reusable
+/// context, so calling it in a loop costs no per-call allocation.
 [[nodiscard]] Digest sha256(std::span<const std::uint8_t> data);
 
 /// Convenience: hex string of the digest.

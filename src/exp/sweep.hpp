@@ -1,0 +1,96 @@
+// Parallel scenario-sweep engine.
+//
+// The paper's evaluation (Figs. 12–18, Table 2) is a grid of *independent*
+// scenario runs over congestion × intermittency × seed conditions. Each run
+// is thread-confined — a Testbed owns its Scheduler, Rng, metrics registry,
+// and trace sink, and nothing in a run touches mutable process state — so
+// the grid fans out across a pool of std::thread workers. Results are
+// returned indexed by submission slot, never by completion order, which
+// makes the parallel output byte-identical to the serial baseline for a
+// fixed seed set (see DESIGN.md §7 for the concurrency model).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "exp/scenario.hpp"
+
+namespace tlc::exp {
+
+/// splitmix64 finalizer: a bijective 64-bit mix with full avalanche.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x);
+
+/// Derives a per-grid-cell RNG seed from (seed, background, dip rate).
+/// Every argument goes through a full splitmix64 round, so nearby cells
+/// (seed 1 vs 2, bg 140 vs 160, dip 0.00 vs 0.03) land in unrelated
+/// streams and no two cells of a sane grid can alias — unlike the old
+/// `seed * 1000 + bg + dip * 100` arithmetic, which truncated `dip` to an
+/// integer (0.03 → 0) and collided whenever bg + dip·100 coincided.
+[[nodiscard]] std::uint64_t mix_seed(std::uint64_t seed,
+                                     double background_mbps,
+                                     double dip_rate_per_s);
+
+struct SweepOptions {
+  /// Worker threads. 0 = use the TLC_JOBS environment variable if set,
+  /// else std::thread::hardware_concurrency(). 1 = serial in the calling
+  /// thread (the baseline the determinism tests compare against).
+  int jobs = 0;
+};
+
+/// Resolves a jobs request against TLC_JOBS and the hardware: returns
+/// `requested` when positive, else TLC_JOBS when set and positive, else
+/// hardware_concurrency (minimum 1).
+[[nodiscard]] int resolve_jobs(int requested = 0);
+
+/// Parses and removes `--jobs=N` / `--jobs N` from argv so every bench
+/// binary gets sweep control without its own flag plumbing. Unrecognised
+/// arguments are left in place. Returns options with jobs = 0 (auto) when
+/// the flag is absent.
+[[nodiscard]] SweepOptions sweep_options_from_cli(int& argc, char** argv);
+
+/// Runs `body(i)` for every i in [0, count) across `jobs` workers (resolved
+/// via resolve_jobs). Slots are claimed from an atomic cursor; the call
+/// returns when all slots finished. The first exception thrown by any slot
+/// is rethrown in the caller after the pool drains.
+void sweep_indexed(std::size_t count, int jobs,
+                   const std::function<void(std::size_t)>& body);
+
+/// Fans the configs out across the worker pool and returns one result per
+/// config, in submission order (out[i] always corresponds to configs[i]).
+[[nodiscard]] std::vector<ScenarioResult> run_scenarios(
+    const std::vector<ScenarioConfig>& configs,
+    const SweepOptions& options = {});
+
+/// The Fig. 12 / Table 2 condition grid: congestion × intermittency × seed,
+/// every simulated cycle settled under all three charging schemes.
+struct GridOptions {
+  std::vector<double> backgrounds{0, 100, 140, 160};
+  std::vector<double> dip_rates{0.0, 0.03};
+  std::vector<std::uint64_t> seeds{1, 2};
+  double loss_weight = 0.5;
+  int cycles = 3;
+  Duration cycle_length = std::chrono::seconds{300};
+};
+
+/// The grid's ScenarioConfigs in canonical order (backgrounds outermost,
+/// seeds innermost), with per-cell seeds derived via mix_seed.
+[[nodiscard]] std::vector<ScenarioConfig> grid_configs(
+    AppKind app, const GridOptions& opt = {});
+
+/// grid_configs + run_scenarios.
+[[nodiscard]] std::vector<ScenarioResult> run_grid(
+    AppKind app, const GridOptions& opt = {}, const SweepOptions& sweep = {});
+
+/// Canonical byte-exact serialization of a result: every negotiated value,
+/// view, ratio (doubles printed with full precision), and the complete
+/// metrics snapshot. Two runs produce equal fingerprints iff they produced
+/// identical results — this is what the determinism tests and
+/// bench_sweep_throughput compare between serial and parallel execution.
+[[nodiscard]] std::string result_fingerprint(const ScenarioResult& result);
+
+/// Fingerprints of all results joined in submission order.
+[[nodiscard]] std::string results_fingerprint(
+    const std::vector<ScenarioResult>& results);
+
+}  // namespace tlc::exp

@@ -38,9 +38,15 @@ Testbed::Testbed(TestbedConfig config)
                                               config_.operator_clock);
   }
 
+  // A scenario pushes hundreds of thousands of events; one up-front
+  // reservation keeps the heap's early growth off the packet path.
+  sched_.reserve(1024);
+
   // Observability: one registry + trace sink for the whole testbed, with
   // events stamped in sim time. Wire before start() so the scheduler's
-  // counters see every event.
+  // counters see every event. Both are owned by this testbed instance —
+  // nothing observability-related is process-global — which is what lets
+  // whole testbeds run concurrently on sweep workers without sharing.
   obs_.trace.set_clock([this] { return sched_.now(); });
   sched_.set_observability(&obs_);
   gateway_.set_observability(&obs_);

@@ -60,14 +60,23 @@ bool Scheduler::is_cancelled(EventId id) {
 bool Scheduler::step() {
   while (!queue_.empty()) {
     std::pop_heap(queue_.begin(), queue_.end(), Later{});
-    Event ev = std::move(queue_.back());
+    // Swap-pop: move only the callback out of the heap slot, then shrink.
+    // The callback must be owned by a local before it runs — dispatching
+    // straight out of `queue_` would dangle if the callback schedules new
+    // events and the vector reallocates — and consuming a cancelled entry
+    // also erases its id from `cancelled_`, so pending_events() (queue
+    // minus cancelled backlog) is preserved across both branches.
+    Event& slot = queue_.back();
+    const EventId id = slot.id;
+    const TimePoint when = slot.when;
+    std::function<void()> fn = std::move(slot.fn);
     queue_.pop_back();
-    if (is_cancelled(ev.id)) continue;
-    now_ = ev.when;
+    if (is_cancelled(id)) continue;
+    now_ = when;
     ++dispatched_;
     if (m_dispatched_ != nullptr) m_dispatched_->inc();
     note_depth();
-    ev.fn();
+    fn();
     return true;
   }
   note_depth();

@@ -36,6 +36,10 @@ class Scheduler {
   /// Cancel a pending event; no-op if already fired or cancelled.
   void cancel(EventId id);
 
+  /// Pre-sizes the event heap (packet paths schedule thousands of events;
+  /// reserving once avoids the early growth reallocations).
+  void reserve(std::size_t events) { queue_.reserve(events); }
+
   /// Dispatch the next event. Returns false when the queue is empty.
   bool step();
 

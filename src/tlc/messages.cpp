@@ -49,6 +49,19 @@ Nonce read_nonce(wire::Reader& r) {
   return n;
 }
 
+/// Scratch encoder for the sign/verify/encode paths. Each party signs and
+/// verifies at every negotiation message, and the transient "signable"
+/// image is discarded immediately after the crypto call — a reusable
+/// per-thread buffer removes that per-message allocation. Thread-local
+/// (not global) so concurrent scenario sweeps never share it. Safe here
+/// because signable writers never nest: embedded messages (peer_cdr,
+/// peer_cda) are stored pre-encoded.
+wire::Writer& scratch_writer() {
+  thread_local wire::Writer w;
+  w.clear();
+  return w;
+}
+
 PartyRole read_role(wire::Reader& r) {
   const std::uint8_t v = r.u8();
   if (v > 1) throw wire::DecodeError{"bad role"};
@@ -88,8 +101,7 @@ PlanEcho PlanEcho::from(const charging::DataPlan& plan,
 // ---------------------------------------------------------------- CdrMsg
 
 namespace {
-ByteVec cdr_signable(const CdrMsg& m) {
-  wire::Writer w;
+void write_cdr_signable(wire::Writer& w, const CdrMsg& m) {
   write_header(w, MessageType::kCdr);
   write_plan(w, m.plan);
   w.u8(static_cast<std::uint8_t>(m.sender));
@@ -98,17 +110,14 @@ ByteVec cdr_signable(const CdrMsg& m) {
   w.u32(m.round);
   write_nonce(w, m.nonce);
   w.u64(m.claim.count());
-  return w.take();
 }
 }  // namespace
 
 ByteVec CdrMsg::encode() const {
-  ByteVec out = cdr_signable(*this);
-  wire::Writer w;
+  wire::Writer& w = scratch_writer();
+  write_cdr_signable(w, *this);
   w.bytes(signature);
-  const ByteVec tail = w.take();
-  out.insert(out.end(), tail.begin(), tail.end());
-  return out;
+  return w.buffer();
 }
 
 CdrMsg CdrMsg::decode(std::span<const std::uint8_t> data) {
@@ -130,19 +139,22 @@ CdrMsg CdrMsg::decode(std::span<const std::uint8_t> data) {
 }
 
 void CdrMsg::sign(const crypto::KeyPair& key) {
-  signature = crypto::sign(key, cdr_signable(*this));
+  wire::Writer& w = scratch_writer();
+  write_cdr_signable(w, *this);
+  signature = crypto::sign(key, w.buffer());
 }
 
 bool CdrMsg::verify(const crypto::PublicKey& key) const {
   if (signature.empty()) return false;
-  return crypto::verify(key, cdr_signable(*this), signature);
+  wire::Writer& w = scratch_writer();
+  write_cdr_signable(w, *this);
+  return crypto::verify(key, w.buffer(), signature);
 }
 
 // ---------------------------------------------------------------- CdaMsg
 
 namespace {
-ByteVec cda_signable(const CdaMsg& m) {
-  wire::Writer w;
+void write_cda_signable(wire::Writer& w, const CdaMsg& m) {
   write_header(w, MessageType::kCda);
   write_plan(w, m.plan);
   w.u8(static_cast<std::uint8_t>(m.sender));
@@ -152,17 +164,14 @@ ByteVec cda_signable(const CdaMsg& m) {
   write_nonce(w, m.nonce);
   w.u64(m.claim.count());
   w.bytes(m.peer_cdr);
-  return w.take();
 }
 }  // namespace
 
 ByteVec CdaMsg::encode() const {
-  ByteVec out = cda_signable(*this);
-  wire::Writer w;
+  wire::Writer& w = scratch_writer();
+  write_cda_signable(w, *this);
   w.bytes(signature);
-  const ByteVec tail = w.take();
-  out.insert(out.end(), tail.begin(), tail.end());
-  return out;
+  return w.buffer();
 }
 
 CdaMsg CdaMsg::decode(std::span<const std::uint8_t> data) {
@@ -185,19 +194,22 @@ CdaMsg CdaMsg::decode(std::span<const std::uint8_t> data) {
 }
 
 void CdaMsg::sign(const crypto::KeyPair& key) {
-  signature = crypto::sign(key, cda_signable(*this));
+  wire::Writer& w = scratch_writer();
+  write_cda_signable(w, *this);
+  signature = crypto::sign(key, w.buffer());
 }
 
 bool CdaMsg::verify(const crypto::PublicKey& key) const {
   if (signature.empty()) return false;
-  return crypto::verify(key, cda_signable(*this), signature);
+  wire::Writer& w = scratch_writer();
+  write_cda_signable(w, *this);
+  return crypto::verify(key, w.buffer(), signature);
 }
 
 // ---------------------------------------------------------------- PocMsg
 
 namespace {
-ByteVec poc_signable(const PocMsg& m) {
-  wire::Writer w;
+void write_poc_signable(wire::Writer& w, const PocMsg& m) {
   write_header(w, MessageType::kPoc);
   write_plan(w, m.plan);
   w.u8(static_cast<std::uint8_t>(m.sender));
@@ -205,19 +217,16 @@ ByteVec poc_signable(const PocMsg& m) {
   w.u32(m.round);
   w.u64(m.charged.count());
   w.bytes(m.peer_cda);
-  return w.take();
 }
 }  // namespace
 
 ByteVec PocMsg::encode() const {
-  ByteVec out = poc_signable(*this);
-  wire::Writer w;
+  wire::Writer& w = scratch_writer();
+  write_poc_signable(w, *this);
   w.bytes(signature);
   write_nonce(w, nonce_edge);
   write_nonce(w, nonce_operator);
-  const ByteVec tail = w.take();
-  out.insert(out.end(), tail.begin(), tail.end());
-  return out;
+  return w.buffer();
 }
 
 PocMsg PocMsg::decode(std::span<const std::uint8_t> data) {
@@ -240,12 +249,16 @@ PocMsg PocMsg::decode(std::span<const std::uint8_t> data) {
 }
 
 void PocMsg::sign(const crypto::KeyPair& key) {
-  signature = crypto::sign(key, poc_signable(*this));
+  wire::Writer& w = scratch_writer();
+  write_poc_signable(w, *this);
+  signature = crypto::sign(key, w.buffer());
 }
 
 bool PocMsg::verify(const crypto::PublicKey& key) const {
   if (signature.empty()) return false;
-  return crypto::verify(key, poc_signable(*this), signature);
+  wire::Writer& w = scratch_writer();
+  write_poc_signable(w, *this);
+  return crypto::verify(key, w.buffer(), signature);
 }
 
 // ---------------------------------------------------------------- variant

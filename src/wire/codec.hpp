@@ -43,6 +43,12 @@ class Writer {
   [[nodiscard]] ByteVec take() { return std::move(buf_); }
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
 
+  /// Drops the contents but keeps the allocation, so one Writer can encode
+  /// a stream of messages with a single amortised buffer (the signing path
+  /// keeps a thread-local Writer for exactly this).
+  void clear() { buf_.clear(); }
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
  private:
   ByteVec buf_;
 };

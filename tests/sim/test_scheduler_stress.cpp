@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
+#include <set>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -68,6 +70,106 @@ TEST(SchedulerStress, DeepRecursiveChains) {
   s.schedule_after(Duration{1}, chain);
   s.run();
   EXPECT_EQ(depth, 50'000);
+}
+
+// step() moves the callback out of the heap slot before running it; a
+// callback that schedules a burst of new events forces the event vector to
+// reallocate mid-dispatch. This must never touch the (now stale) slot.
+TEST(SchedulerStress, ReentrantBurstSchedulingDuringDispatch) {
+  Scheduler s;
+  Rng rng{7};
+  int fired = 0;
+  std::function<void()> burst = [&] {
+    ++fired;
+    if (fired > 2'000) return;
+    // Schedule enough events in one callback to outgrow any capacity the
+    // heap had when this callback's own slot was popped.
+    const int fanout = static_cast<int>(rng.uniform_int(1, 3));
+    for (int i = 0; i < fanout; ++i) {
+      s.schedule_after(
+          Duration{static_cast<std::int64_t>(rng.uniform_int(1, 1'000))},
+          burst);
+    }
+  };
+  s.schedule_after(Duration{1}, burst);
+  s.run();
+  EXPECT_GT(fired, 2'000);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+// pending_events() must stay exact — scheduled minus fired minus cancelled —
+// through arbitrary interleavings of schedule, cancel, and step, including
+// when step() consumes cancelled heap entries without dispatching them.
+TEST(SchedulerStress, PendingEventsExactUnderInterleaving) {
+  Scheduler s;
+  Rng rng{11};
+  // Each callback retires its own id so cancels only ever target live
+  // (still-pending) events — a cancel of a fired id would legitimately park
+  // a stale entry in the backlog until compaction.
+  std::set<EventId> live;
+  std::uint64_t fired = 0;
+  const auto schedule_one = [&] {
+    auto id_holder = std::make_shared<EventId>();
+    const EventId id = s.schedule_after(
+        Duration{static_cast<std::int64_t>(rng.uniform_int(1, 100'000))},
+        [&live, &fired, id_holder] {
+          ++fired;
+          live.erase(*id_holder);
+        });
+    *id_holder = id;
+    live.insert(id);
+  };
+  for (int round = 0; round < 5'000; ++round) {
+    const int action = static_cast<int>(rng.uniform_int(0, 2));
+    if (action == 0 || live.empty()) {
+      schedule_one();
+    } else if (action == 1) {
+      auto it = live.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng.uniform_int(
+                           0, static_cast<std::uint64_t>(live.size() - 1))));
+      s.cancel(*it);
+      live.erase(it);
+    } else {
+      const std::uint64_t before = fired;
+      if (s.step()) ASSERT_EQ(fired, before + 1);
+    }
+    ASSERT_EQ(s.pending_events(), live.size());
+  }
+  const std::uint64_t remaining = live.size();
+  const std::uint64_t before = fired;
+  s.run();
+  EXPECT_EQ(fired - before, remaining);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+// Cancelling an event and then consuming it via step() must erase the id
+// from the cancelled backlog (not leave it to shadow a future event).
+TEST(SchedulerStress, CancelledConsumptionDrainsBacklog) {
+  Scheduler s;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(s.schedule_after(Duration{i + 1}, [] {}));
+  }
+  for (int i = 0; i < 100; i += 2) {
+    s.cancel(ids[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(s.pending_events(), 50u);
+  EXPECT_EQ(s.run(), 50u);
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_EQ(s.cancelled_backlog(), 0u);
+}
+
+// reserve() is a pure capacity hint: behaviour and ordering are unchanged.
+TEST(SchedulerStress, ReserveKeepsOrderingAndCounts) {
+  Scheduler s;
+  s.reserve(4'096);
+  std::vector<int> order;
+  s.schedule_at(kTimeZero + Duration{3}, [&] { order.push_back(3); });
+  s.schedule_at(kTimeZero + Duration{1}, [&] { order.push_back(1); });
+  s.schedule_at(kTimeZero + Duration{2}, [&] { order.push_back(2); });
+  EXPECT_EQ(s.pending_events(), 3u);
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 TEST(SchedulerStress, RunUntilBoundaryExactness) {

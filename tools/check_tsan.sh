@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# CI-style check: build with ThreadSanitizer (-DTLC_SANITIZE=thread) and run
+# the concurrency-sensitive tests — everything carrying the `sweep` ctest
+# label: the parallel-vs-serial determinism test, the sweep fan-out and
+# exception-propagation tests, and the concurrent-testbed registry-isolation
+# test. Any data race in the sweep engine, the thread-local scratch buffers,
+# or the log-hook globals fails the run.
+#
+# Benchmarks and examples are excluded to keep the instrumented build small.
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-tsan}"
+
+cmake -S "$repo_root" -B "$build_dir" \
+  -DTLC_SANITIZE=thread \
+  -DTLC_BUILD_BENCH=OFF \
+  -DTLC_BUILD_EXAMPLES=OFF \
+  >/dev/null
+
+cmake --build "$build_dir" -j "$(nproc)"
+
+ctest --test-dir "$build_dir" -L sweep --output-on-failure
+
+echo "OK: sweep-labelled tests are race-free under ThreadSanitizer."

@@ -13,23 +13,34 @@ struct CtxDeleter {
 };
 using CtxPtr = std::unique_ptr<EVP_MD_CTX, CtxDeleter>;
 
+// One context per thread serves every sign/verify call (mirroring the
+// thread-local one-shot Sha256): the CDR→CDA→PoC path signs and verifies at
+// every negotiation message, and EVP_MD_CTX_new/free per call dominated the
+// non-RSA cost. Reset leaves the context reusable; sweep workers each get
+// their own, so no locking is needed.
+EVP_MD_CTX* local_ctx() {
+  thread_local CtxPtr ctx{EVP_MD_CTX_new()};
+  if (!ctx) throw std::runtime_error{"EVP_MD_CTX_new failed"};
+  EVP_MD_CTX_reset(ctx.get());
+  return ctx.get();
+}
+
 }  // namespace
 
 ByteVec sign(const KeyPair& key, std::span<const std::uint8_t> message) {
   if (!key.valid()) throw std::logic_error{"sign: empty key pair"};
-  CtxPtr ctx{EVP_MD_CTX_new()};
-  if (!ctx) throw std::runtime_error{"EVP_MD_CTX_new failed"};
-  if (EVP_DigestSignInit(ctx.get(), nullptr, EVP_sha256(), nullptr,
-                         static_cast<EVP_PKEY*>(key.handle())) != 1) {
+  EVP_MD_CTX* ctx = local_ctx();
+  auto* pkey = static_cast<EVP_PKEY*>(key.handle());
+  if (EVP_DigestSignInit(ctx, nullptr, EVP_sha256(), nullptr, pkey) != 1) {
     throw std::runtime_error{"EVP_DigestSignInit failed"};
   }
-  std::size_t sig_len = 0;
-  if (EVP_DigestSign(ctx.get(), nullptr, &sig_len, message.data(),
-                     message.size()) != 1) {
-    throw std::runtime_error{"EVP_DigestSign sizing failed"};
-  }
-  ByteVec sig(sig_len);
-  if (EVP_DigestSign(ctx.get(), sig.data(), &sig_len, message.data(),
+  // EVP_PKEY_size bounds the signature, so the buffer is sized in one shot
+  // instead of a separate EVP_DigestSign sizing round-trip.
+  const int max_len = EVP_PKEY_size(pkey);
+  if (max_len <= 0) throw std::runtime_error{"EVP_PKEY_size failed"};
+  ByteVec sig(static_cast<std::size_t>(max_len));
+  std::size_t sig_len = sig.size();
+  if (EVP_DigestSign(ctx, sig.data(), &sig_len, message.data(),
                      message.size()) != 1) {
     throw std::runtime_error{"EVP_DigestSign failed"};
   }
@@ -40,13 +51,12 @@ ByteVec sign(const KeyPair& key, std::span<const std::uint8_t> message) {
 bool verify(const PublicKey& key, std::span<const std::uint8_t> message,
             std::span<const std::uint8_t> signature) {
   if (!key.valid()) throw std::logic_error{"verify: empty public key"};
-  CtxPtr ctx{EVP_MD_CTX_new()};
-  if (!ctx) throw std::runtime_error{"EVP_MD_CTX_new failed"};
-  if (EVP_DigestVerifyInit(ctx.get(), nullptr, EVP_sha256(), nullptr,
+  EVP_MD_CTX* ctx = local_ctx();
+  if (EVP_DigestVerifyInit(ctx, nullptr, EVP_sha256(), nullptr,
                            static_cast<EVP_PKEY*>(key.handle())) != 1) {
     throw std::runtime_error{"EVP_DigestVerifyInit failed"};
   }
-  return EVP_DigestVerify(ctx.get(), signature.data(), signature.size(),
+  return EVP_DigestVerify(ctx, signature.data(), signature.size(),
                           message.data(), message.size()) == 1;
 }
 

@@ -97,7 +97,16 @@ BitRate CellLink::residual_capacity(Qci qci) const {
 void CellLink::maybe_start_service() {
   if (busy_ || queue_.empty()) return;
   busy_ = true;
-  sched_.schedule_after(Duration::zero(), [this] { service_head(); });
+  schedule_service(Duration::zero());
+}
+
+void CellLink::schedule_service(Duration delay) {
+  if (service_pending_) return;
+  service_pending_ = true;
+  sched_.schedule_after(delay, [this] {
+    service_pending_ = false;
+    service_head();
+  });
 }
 
 void CellLink::service_head() {
@@ -114,13 +123,13 @@ void CellLink::service_head() {
     auto entry = queue_.pop();
     report_drop(entry->packet, DropCause::kBufferTimeout);
     note_queue_gauges();
-    sched_.schedule_after(Duration::zero(), [this] { service_head(); });
+    schedule_service(Duration::zero());
     return;
   }
 
   // Radio outage: the head stalls (eNodeB buffers) — probe again shortly.
   if (radio_ != nullptr && !radio_->state_at(now).connected) {
-    sched_.schedule_after(kStallProbe, [this] { service_head(); });
+    schedule_service(kStallProbe);
     return;
   }
 
@@ -176,7 +185,7 @@ void CellLink::complete_transmission(QciQueue::Entry entry) {
   if (queue_.empty()) {
     busy_ = false;
   } else {
-    sched_.schedule_after(Duration::zero(), [this] { service_head(); });
+    schedule_service(Duration::zero());
   }
 }
 

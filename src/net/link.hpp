@@ -103,6 +103,11 @@ class CellLink {
 
  private:
   void maybe_start_service();
+  /// Arms a single service_head() wakeup after `delay`. All service wakeups
+  /// (start-of-service, post-timeout, stall probe, post-transmission) funnel
+  /// through here; `service_pending_` guarantees a burst of arrivals or
+  /// drops arms one probe, not one per packet.
+  void schedule_service(Duration delay);
   void service_head();
   void complete_transmission(QciQueue::Entry entry);
   void report_drop(const Packet& packet, DropCause cause);
@@ -116,6 +121,7 @@ class CellLink {
   QciQueue queue_;
   BitRate background_;
   bool busy_ = false;
+  bool service_pending_ = false;  // a service_head() wakeup is scheduled
   bool blocked_ = false;
   DropCause blocked_cause_ = DropCause::kDetached;
   LinkStats stats_;

@@ -1,0 +1,126 @@
+// Fixed-capacity, move-only, type-erased `void()` callable.
+//
+// The scheduler dispatches ~16M events per evaluation grid run; storing each
+// callback as a `std::function` made every packet-path event (whose captures
+// exceed the small-buffer size) pay a heap allocation and free. An
+// InlineCallback instead embeds the capture in a fixed 96-byte buffer inside
+// the object itself: constructing, moving, and destroying one never touches
+// the heap. Oversized or over-aligned captures are rejected at compile time
+// (the converting constructor is constrained away, so
+// `std::is_constructible_v<InlineCallback, F>` is false and the
+// `static_assert` guard in tests can pin the rejection) — shrink the capture
+// or box the payload rather than raising kCapacity casually: the buffer size
+// is what keeps a Scheduler slot at two cache lines.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tlc::sim {
+
+class InlineCallback {
+ public:
+  /// Sized for the fattest hot-path capture: CellLink's in-flight
+  /// transmission (`this` + a QciQueue::Entry, ≈64 B) plus headroom for a
+  /// wrapped `std::function` trampoline (32 B) used by tests.
+  static constexpr std::size_t kCapacity = 96;
+  static constexpr std::size_t kAlignment = alignof(std::max_align_t);
+
+  /// True when `F`'s decayed type fits the inline buffer; mirrors the
+  /// constructor constraint so call sites can static_assert a capture
+  /// budget explicitly.
+  template <typename F>
+  static constexpr bool fits =
+      sizeof(std::remove_cvref_t<F>) <= kCapacity &&
+      alignof(std::remove_cvref_t<F>) <= kAlignment;
+
+  InlineCallback() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineCallback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&> &&
+             std::is_nothrow_move_constructible_v<std::remove_cvref_t<F>> &&
+             sizeof(std::remove_cvref_t<F>) <= kCapacity &&
+             alignof(std::remove_cvref_t<F>) <= kAlignment)
+  InlineCallback(F&& fn)  // NOLINT(google-explicit-constructor): lambdas
+                          // convert at schedule_at/schedule_after call sites
+      noexcept(std::is_nothrow_constructible_v<std::remove_cvref_t<F>, F&&>)
+      : ops_(&kOpsFor<std::remove_cvref_t<F>>) {
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "InlineCallback: capture too large for the inline buffer — "
+                  "shrink the capture or box the payload");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.storage_, storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  /// Destroys the stored callable (if any), leaving the callback empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  void operator()() {
+    ops_->invoke(storage_);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-constructs `dst` from the object at `src`, then destroys `src`.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename Fn>
+  static Fn* as(void* storage) noexcept {
+    return std::launder(reinterpret_cast<Fn*>(storage));
+  }
+
+  template <typename Fn>
+  static constexpr Ops kOpsFor{
+      [](void* self) { (*as<Fn>(self))(); },
+      [](void* src, void* dst) noexcept {
+        Fn* from = as<Fn>(src);
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* self) noexcept { as<Fn>(self)->~Fn(); },
+  };
+
+  const Ops* ops_ = nullptr;
+  alignas(kAlignment) unsigned char storage_[kCapacity];
+};
+
+}  // namespace tlc::sim

@@ -2,24 +2,90 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace tlc::sim {
+namespace {
 
-EventId Scheduler::schedule_at(TimePoint when, std::function<void()> fn) {
+constexpr std::size_t kArity = 4;
+
+constexpr EventId make_id(std::uint32_t slot, std::uint32_t generation) {
+  return (static_cast<EventId>(slot) << 32) | generation;
+}
+
+}  // namespace
+
+std::uint32_t Scheduler::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t index = free_slots_.back();
+    free_slots_.pop_back();
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Scheduler::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  // Generation 0 is reserved as the null-EventId sentinel; skip it on wrap.
+  if (++slot.generation == 0) slot.generation = 1;
+  free_slots_.push_back(index);
+}
+
+void Scheduler::sift_up(std::size_t i) {
+  const HeapEntry entry = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!earlier(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void Scheduler::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const HeapEntry entry = heap_[i];
+  for (;;) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + kArity, n);
+    for (std::size_t child = first + 1; child < last; ++child) {
+      if (earlier(heap_[child], heap_[best])) best = child;
+    }
+    if (!earlier(heap_[best], entry)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = entry;
+}
+
+void Scheduler::pop_front_entry() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+EventId Scheduler::schedule_at(TimePoint when, InlineCallback fn) {
   if (when < now_) {
     throw std::invalid_argument{"Scheduler::schedule_at: time in the past"};
   }
-  const EventId id = next_id_++;
-  queue_.push_back(Event{when, next_seq_++, id, std::move(fn)});
-  std::push_heap(queue_.begin(), queue_.end(), Later{});
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.engaged = true;
+  heap_.push_back(HeapEntry{when, next_seq_++, index});
+  sift_up(heap_.size() - 1);
+  ++live_;
   ++scheduled_;
   if (m_scheduled_ != nullptr) m_scheduled_->inc();
-  if (queue_.size() > max_depth_) max_depth_ = queue_.size();
+  if (heap_.size() > max_depth_) max_depth_ = heap_.size();
   note_depth();
-  return id;
+  return make_id(index, slot.generation);
 }
 
-EventId Scheduler::schedule_after(Duration delay, std::function<void()> fn) {
+EventId Scheduler::schedule_after(Duration delay, InlineCallback fn) {
   if (delay < Duration::zero()) {
     throw std::invalid_argument{"Scheduler::schedule_after: negative delay"};
   }
@@ -27,52 +93,38 @@ EventId Scheduler::schedule_after(Duration delay, std::function<void()> fn) {
 }
 
 void Scheduler::cancel(EventId id) {
-  const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id);
-  if (it != cancelled_.end() && *it == id) return;  // already recorded
-  cancelled_.insert(it, id);
+  const auto index = static_cast<std::uint32_t>(id >> 32);
+  const auto generation = static_cast<std::uint32_t>(id);
+  if (index >= slots_.size()) return;
+  Slot& slot = slots_[index];
+  // Stale id (event already fired/recycled) or double-cancel: no-op.
+  if (slot.generation != generation || !slot.engaged) return;
+  slot.fn.reset();  // release captured state now; the heap entry becomes a
+                    // tombstone discarded when it reaches the front
+  slot.engaged = false;
+  --live_;
   ++cancelled_count_;
   if (m_cancelled_ != nullptr) m_cancelled_->inc();
-  // Ids of events that already fired (or never existed) would otherwise sit
-  // in the list forever; once the list outgrows the pending-event count it
-  // must contain such stale ids — drop them.
-  if (cancelled_.size() > queue_.size()) compact_cancelled();
-}
-
-void Scheduler::compact_cancelled() {
-  std::vector<EventId> pending;
-  pending.reserve(queue_.size());
-  for (const Event& ev : queue_) pending.push_back(ev.id);
-  std::sort(pending.begin(), pending.end());
-  std::vector<EventId> kept;
-  std::set_intersection(cancelled_.begin(), cancelled_.end(),
-                        pending.begin(), pending.end(),
-                        std::back_inserter(kept));
-  cancelled_ = std::move(kept);
-}
-
-bool Scheduler::is_cancelled(EventId id) {
-  const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id);
-  if (it == cancelled_.end() || *it != id) return false;
-  cancelled_.erase(it);
-  return true;
 }
 
 bool Scheduler::step() {
-  while (!queue_.empty()) {
-    std::pop_heap(queue_.begin(), queue_.end(), Later{});
-    // Swap-pop: move only the callback out of the heap slot, then shrink.
-    // The callback must be owned by a local before it runs — dispatching
-    // straight out of `queue_` would dangle if the callback schedules new
-    // events and the vector reallocates — and consuming a cancelled entry
-    // also erases its id from `cancelled_`, so pending_events() (queue
-    // minus cancelled backlog) is preserved across both branches.
-    Event& slot = queue_.back();
-    const EventId id = slot.id;
-    const TimePoint when = slot.when;
-    std::function<void()> fn = std::move(slot.fn);
-    queue_.pop_back();
-    if (is_cancelled(id)) continue;
-    now_ = when;
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    pop_front_entry();
+    Slot& slot = slots_[top.slot];
+    if (!slot.engaged) {  // cancelled tombstone
+      release_slot(top.slot);
+      continue;
+    }
+    // The callback must be owned by a local before it runs: dispatching
+    // straight out of the slot would dangle if the callback schedules new
+    // events and `slots_` reallocates — and releasing the slot first lets
+    // the callback's own schedule_at reuse it immediately.
+    InlineCallback fn = std::move(slot.fn);
+    slot.engaged = false;
+    release_slot(top.slot);
+    --live_;
+    now_ = top.when;
     ++dispatched_;
     if (m_dispatched_ != nullptr) m_dispatched_->inc();
     note_depth();
@@ -85,8 +137,8 @@ bool Scheduler::step() {
 
 std::uint64_t Scheduler::run_until(TimePoint deadline) {
   std::uint64_t dispatched = 0;
-  while (!queue_.empty()) {
-    if (queue_.front().when > deadline) break;
+  while (!heap_.empty()) {
+    if (heap_.front().when > deadline) break;
     if (step()) ++dispatched;
   }
   if (now_ < deadline) now_ = deadline;
@@ -97,11 +149,6 @@ std::uint64_t Scheduler::run() {
   std::uint64_t dispatched = 0;
   while (step()) ++dispatched;
   return dispatched;
-}
-
-std::size_t Scheduler::pending_events() const {
-  return queue_.size() - std::min<std::size_t>(queue_.size(),
-                                               cancelled_.size());
 }
 
 void Scheduler::set_observability(obs::Obs* obs) {
@@ -120,7 +167,7 @@ void Scheduler::set_observability(obs::Obs* obs) {
 
 void Scheduler::note_depth() {
   if (m_depth_ != nullptr) {
-    m_depth_->set(static_cast<double>(queue_.size()));
+    m_depth_->set(static_cast<double>(heap_.size()));
   }
 }
 

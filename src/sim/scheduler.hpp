@@ -4,18 +4,29 @@
 // of these: components schedule callbacks at absolute or relative simulated
 // times, and `run_until`/`run` dispatch them in timestamp order. Ties are
 // broken by insertion order so runs are fully deterministic.
+//
+// Hot-path memory model (DESIGN.md §7): steady-state schedule→dispatch
+// performs zero heap allocations. Callbacks live in `InlineCallback` slots
+// (fixed inline capture buffer) recycled through a free list; the priority
+// queue is a 4-ary implicit heap over 24-byte {when, seq, slot} entries; and
+// cancellation is O(1) — an EventId encodes (slot, generation), so cancel()
+// destroys the callable in place and the heap entry is lazily discarded as a
+// tombstone when it reaches the front.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/units.hpp"
 #include "obs/obs.hpp"
+#include "sim/inline_callback.hpp"
 
 namespace tlc::sim {
 
-/// Handle for cancelling a scheduled event.
+/// Handle for cancelling a scheduled event. Packs (slot << 32 | generation);
+/// generations start at 1, so 0 is never a live id and works as a null
+/// sentinel. Stale ids (fired or long-cancelled) fail the generation check
+/// and cancel() is a no-op.
 using EventId = std::uint64_t;
 
 class Scheduler {
@@ -27,18 +38,24 @@ class Scheduler {
   /// Current simulated time (advances only inside run/run_until/step).
   [[nodiscard]] TimePoint now() const { return now_; }
 
-  /// Schedule `fn` at absolute time `when` (must be ≥ now()).
-  EventId schedule_at(TimePoint when, std::function<void()> fn);
+  /// Schedule `fn` at absolute time `when` (must be ≥ now()). The callable's
+  /// capture must fit InlineCallback::kCapacity (compile-time checked).
+  EventId schedule_at(TimePoint when, InlineCallback fn);
 
   /// Schedule `fn` after `delay` from now.
-  EventId schedule_after(Duration delay, std::function<void()> fn);
+  EventId schedule_after(Duration delay, InlineCallback fn);
 
-  /// Cancel a pending event; no-op if already fired or cancelled.
+  /// Cancel a pending event in O(1); no-op if already fired or cancelled.
   void cancel(EventId id);
 
-  /// Pre-sizes the event heap (packet paths schedule thousands of events;
-  /// reserving once avoids the early growth reallocations).
-  void reserve(std::size_t events) { queue_.reserve(events); }
+  /// Pre-sizes the event heap and slot pool (packet paths schedule
+  /// thousands of events; reserving once avoids the early growth
+  /// reallocations).
+  void reserve(std::size_t events) {
+    heap_.reserve(events);
+    slots_.reserve(events);
+    free_slots_.reserve(events);
+  }
 
   /// Dispatch the next event. Returns false when the queue is empty.
   bool step();
@@ -50,20 +67,23 @@ class Scheduler {
   /// Run until the queue drains entirely.
   std::uint64_t run();
 
-  [[nodiscard]] std::size_t pending_events() const;
+  /// Exact count of events that will still dispatch (excludes cancelled
+  /// entries awaiting lazy removal). O(1).
+  [[nodiscard]] std::size_t pending_events() const { return live_; }
 
   /// Lifetime stats (monotonic over the scheduler's life).
   [[nodiscard]] std::uint64_t events_scheduled() const { return scheduled_; }
   [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
-  /// Cancel requests recorded (each distinct EventId counted once).
+  /// Cancel requests that actually killed a pending event (each distinct
+  /// EventId counted once; stale ids never match their slot's generation).
   [[nodiscard]] std::uint64_t events_cancelled() const {
     return cancelled_count_;
   }
   [[nodiscard]] std::size_t max_queue_depth() const { return max_depth_; }
-  /// Cancelled ids currently remembered; bounded by compaction to at most
-  /// the pending-event count between cancel() calls (testing hook).
+  /// Cancelled tombstones still parked in the heap awaiting lazy removal;
+  /// bounded by the heap size by construction (testing hook).
   [[nodiscard]] std::size_t cancelled_backlog() const {
-    return cancelled_.size();
+    return heap_.size() - live_;
   }
 
   /// Attach a metrics/trace domain: counters sim.sched.{scheduled,
@@ -72,36 +92,52 @@ class Scheduler {
   void set_observability(obs::Obs* obs);
 
  private:
-  struct Event {
+  /// Heap entries are deliberately tiny (24 B): a 4-ary sift touches up to
+  /// four children that then span at most two cache lines, and sift moves
+  /// copy three words instead of relocating a type-erased callable.
+  struct HeapEntry {
     TimePoint when;
-    std::uint64_t seq;  // FIFO tie-break
-    EventId id;
-    std::function<void()> fn;
+    std::uint64_t seq;   // FIFO tie-break
+    std::uint32_t slot;  // index into slots_
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+
+  /// One scheduled callback. A slot has exactly one outstanding HeapEntry
+  /// referring to it, so it is recycled (generation bumped, pushed on the
+  /// free list) only when that entry pops — never while the heap can still
+  /// reach it. `engaged == false` before the pop marks a cancelled
+  /// tombstone.
+  struct Slot {
+    InlineCallback fn;
+    std::uint32_t generation = 1;
+    bool engaged = false;
   };
+
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
 
   TimePoint now_ = kTimeZero;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t scheduled_ = 0;
   std::uint64_t dispatched_ = 0;
   std::uint64_t cancelled_count_ = 0;
   std::size_t max_depth_ = 0;
-  std::vector<Event> queue_;        // binary heap ordered by Later
-  std::vector<EventId> cancelled_;  // sorted ascending, deduplicated
+  std::size_t live_ = 0;  // engaged slots = exactly pending_events()
+  std::vector<HeapEntry> heap_;           // 4-ary implicit min-heap
+  std::vector<Slot> slots_;               // callback storage, slot-indexed
+  std::vector<std::uint32_t> free_slots_;  // recycled slot indices
 
   obs::Counter* m_scheduled_ = nullptr;
   obs::Counter* m_dispatched_ = nullptr;
   obs::Counter* m_cancelled_ = nullptr;
   obs::Gauge* m_depth_ = nullptr;
 
-  bool is_cancelled(EventId id);
-  void compact_cancelled();
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void pop_front_entry();
   void note_depth();
 };
 

@@ -10,6 +10,12 @@ struct Exchange {
   TimedExchangeConfig config;
   TimedExchangeResult result;
   TimePoint started;
+  /// The exchange is half-duplex lockstep — exactly one message is ever in
+  /// transit — so it parks here instead of being copied into each scheduler
+  /// callback: the Message variant (~150 B of nested signature vectors)
+  /// would blow the InlineCallback capture budget, and moving it once is
+  /// cheaper than copying it twice anyway.
+  Message in_flight;
 
   Duration crypto_for(const ProtocolParty& party) const {
     return &party == &initiator ? config.initiator_crypto
@@ -24,12 +30,13 @@ struct Exchange {
     result.network_time += config.one_way_latency;
     ProtocolParty& receiver =
         &sender == &initiator ? responder : initiator;
+    in_flight = std::move(msg);
     sched.schedule_after(
-        crypto_for(sender) + config.one_way_latency,
-        [this, &receiver, m = std::move(msg)] {
+        crypto_for(sender) + config.one_way_latency, [this, &receiver] {
           // Receiver-side verification/decision time.
           result.crypto_time += crypto_for(receiver);
-          sched.schedule_after(crypto_for(receiver), [this, &receiver, m] {
+          sched.schedule_after(crypto_for(receiver), [this, &receiver] {
+            const Message m = std::move(in_flight);
             std::optional<Message> reply = receiver.on_message(m);
             if (reply.has_value()) {
               dispatch(receiver, std::move(*reply));
@@ -45,7 +52,7 @@ TimedExchangeResult run_timed_exchange(sim::Scheduler& sched,
                                        ProtocolParty& initiator,
                                        ProtocolParty& responder,
                                        const TimedExchangeConfig& config) {
-  Exchange exchange{sched, initiator, responder, config, {}, sched.now()};
+  Exchange exchange{sched, initiator, responder, config, {}, sched.now(), {}};
   exchange.dispatch(initiator, initiator.start());
   sched.run();
 

@@ -1,0 +1,136 @@
+#include "sim/inline_callback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <type_traits>
+
+namespace tlc::sim {
+namespace {
+
+TEST(InlineCallback, DefaultIsEmpty) {
+  InlineCallback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InlineCallback, InvokesCapturedState) {
+  int hits = 0;
+  InlineCallback cb{[&hits] { ++hits; }};
+  ASSERT_TRUE(static_cast<bool>(cb));
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallback, MutableLambdaKeepsStateAcrossInvocations) {
+  int observed = 0;
+  InlineCallback cb{[&observed, count = 0]() mutable { observed = ++count; }};
+  cb();
+  cb();
+  cb();
+  EXPECT_EQ(observed, 3);
+}
+
+TEST(InlineCallback, MoveTransfersCallableAndEmptiesSource) {
+  int hits = 0;
+  InlineCallback a{[&hits] { ++hits; }};
+  InlineCallback b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineCallback, MoveAssignmentDestroysPreviousTarget) {
+  auto first = std::make_shared<int>(1);
+  auto second = std::make_shared<int>(2);
+  std::weak_ptr<int> first_alive = first;
+  {
+    InlineCallback target{[p = std::move(first)] { (void)*p; }};
+    InlineCallback source{[p = std::move(second)] { (void)*p; }};
+    EXPECT_FALSE(first_alive.expired());
+    target = std::move(source);
+    // The old capture (holding `first`) must have been destroyed.
+    EXPECT_TRUE(first_alive.expired());
+    ASSERT_TRUE(static_cast<bool>(target));
+    target();
+  }
+}
+
+TEST(InlineCallback, DestructorReleasesCapture) {
+  auto payload = std::make_shared<int>(42);
+  std::weak_ptr<int> alive = payload;
+  {
+    InlineCallback cb{[p = std::move(payload)] { (void)*p; }};
+    EXPECT_FALSE(alive.expired());
+  }
+  EXPECT_TRUE(alive.expired());
+}
+
+TEST(InlineCallback, ResetReleasesCaptureAndEmpties) {
+  auto payload = std::make_shared<int>(7);
+  std::weak_ptr<int> alive = payload;
+  InlineCallback cb{[p = std::move(payload)] { (void)*p; }};
+  cb.reset();
+  EXPECT_TRUE(alive.expired());
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InlineCallback, WrapsStdFunction) {
+  int hits = 0;
+  std::function<void()> fn = [&hits] { ++hits; };
+  InlineCallback cb{fn};  // lvalue copy, the recursive-reschedule idiom
+  cb();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineCallback, HoldsCapacitySizedCapture) {
+  std::array<std::uint8_t, InlineCallback::kCapacity - 8> payload{};
+  payload.back() = 0x5a;
+  std::uint8_t seen = 0;
+  InlineCallback cb{[&seen, payload] { seen = payload.back(); }};
+  cb();
+  EXPECT_EQ(seen, 0x5a);
+}
+
+// --- compile-time capture-budget guard -------------------------------------
+
+struct Oversized {
+  std::array<unsigned char, InlineCallback::kCapacity + 1> bytes{};
+  void operator()() const {}
+};
+
+struct alignas(InlineCallback::kAlignment * 2) OverAligned {
+  void operator()() const {}
+};
+
+struct NotInvocable {
+  int x = 0;
+};
+
+// The converting constructor is constrained away for captures that exceed
+// the inline buffer (or its alignment), so oversized captures are rejected
+// at compile time rather than silently boxed on the heap.
+static_assert(!std::is_constructible_v<InlineCallback, Oversized>,
+              "oversized captures must not convert to InlineCallback");
+static_assert(!std::is_constructible_v<InlineCallback, OverAligned>,
+              "over-aligned captures must not convert to InlineCallback");
+static_assert(!std::is_constructible_v<InlineCallback, NotInvocable>);
+static_assert(std::is_constructible_v<InlineCallback, void (*)()>);
+static_assert(!InlineCallback::fits<Oversized>);
+static_assert(InlineCallback::fits<std::function<void()>>);
+static_assert(!std::is_copy_constructible_v<InlineCallback>);
+static_assert(std::is_nothrow_move_constructible_v<InlineCallback>);
+
+TEST(InlineCallback, FunctionPointerWorks) {
+  static int hits;
+  hits = 0;
+  InlineCallback cb{+[] { ++hits; }};
+  cb();
+  EXPECT_EQ(hits, 1);
+}
+
+}  // namespace
+}  // namespace tlc::sim

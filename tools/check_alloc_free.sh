@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# CI-style check: the scheduler's steady-state event hot path must stay
+# allocation-free. Builds the default configuration and runs
+# test_scheduler_alloc (global operator-new hook asserting zero heap
+# allocations per schedule→dispatch and schedule→cancel→drain cycle) plus
+# the perf-smoke scheduler microbench, which exercises the 4-ary heap and
+# slot recycling at a small iteration count.
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+cmake -S "$repo_root" -B "$build_dir" >/dev/null
+
+cmake --build "$build_dir" -j "$(nproc)" \
+  --target test_scheduler_alloc bench_scheduler
+
+"$build_dir/tests/test_scheduler_alloc"
+"$build_dir/bench/bench_scheduler" --events 20000
+
+echo "OK: scheduler hot path is allocation-free."

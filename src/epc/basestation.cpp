@@ -53,11 +53,14 @@ void BaseStation::set_observability(obs::Obs* obs,
     m_detaches_ = nullptr;
     m_attaches_ = nullptr;
     m_counter_checks_ = nullptr;
+    m_counter_check_timeouts_ = nullptr;
     return;
   }
   m_detaches_ = &obs_->metrics.counter(component_ + ".detaches");
   m_attaches_ = &obs_->metrics.counter(component_ + ".attaches");
   m_counter_checks_ = &obs_->metrics.counter(component_ + ".counter_checks");
+  m_counter_check_timeouts_ =
+      &obs_->metrics.counter(component_ + ".fault.counter_check_timeouts");
 }
 
 void BaseStation::start() {
@@ -88,8 +91,29 @@ Bytes BaseStation::observed_uplink_radio_loss(std::uint64_t cycle) const {
   return it == ul_radio_loss_by_cycle_.end() ? Bytes{0} : it->second;
 }
 
+void BaseStation::fail_next_counter_checks(std::uint32_t count,
+                                           Duration retry_after) {
+  counter_check_faults_armed_ += count;
+  counter_check_retry_ = retry_after;
+}
+
 bool BaseStation::trigger_counter_check() {
   if (!attached_) return false;
+  if (counter_check_faults_armed_ > 0) {
+    --counter_check_faults_armed_;
+    ++counter_check_timeouts_;
+    if (m_counter_check_timeouts_ != nullptr) m_counter_check_timeouts_->inc();
+    TLC_TRACE_EVENT(obs_, component_, "counter_check_timeout",
+                    obs::TraceLevel::kInfo,
+                    obs::field("retry_s", to_seconds(counter_check_retry_)));
+    // The OFCS notices the missing response and re-polls after a bounded
+    // back-off; the retry itself may hit a detached device, in which case
+    // the report is simply late by one more idle-release.
+    sched_.schedule_after(counter_check_retry_, [this] {
+      if (attached_) perform_counter_check();
+    });
+    return false;
+  }
   perform_counter_check();
   return true;
 }

@@ -84,6 +84,26 @@ class BaseStation {
   /// Returns false when the device is unreachable (detached).
   bool trigger_counter_check();
 
+  /// Fault injection (DESIGN.md §8): the next `count` operator-triggered
+  /// counter checks time out — no report reaches the monitor immediately —
+  /// and the OFCS retry fires `retry_after` later (bounded, so midpoint
+  /// attribution keeps the delta in the right cycle). Counted in
+  /// epc.<cell>.fault.counter_check_timeouts.
+  void fail_next_counter_checks(std::uint32_t count, Duration retry_after);
+  [[nodiscard]] std::uint64_t counter_check_timeouts() const {
+    return counter_check_timeouts_;
+  }
+
+  /// Fault injection: hook consulted for every packet that survives the
+  /// organic loss model on the respective direction (nullptr disables).
+  /// The hook must outlive this cell or be reset to nullptr first.
+  void set_downlink_fault_hook(net::LinkFaultHook* hook) {
+    dl_link_.set_fault_hook(hook);
+  }
+  void set_uplink_fault_hook(net::LinkFaultHook* hook) {
+    ul_link_.set_fault_hook(hook);
+  }
+
   /// Mobility support: while suspended (device served by another cell, or
   /// mid-handover) traffic at this cell is dropped with `cause`; the
   /// gateway session stays up, unlike a detach — which is exactly why
@@ -151,6 +171,9 @@ class BaseStation {
   TimePoint last_activity_ = kTimeZero;
   std::uint64_t detaches_ = 0;
   std::uint64_t counter_checks_ = 0;
+  std::uint32_t counter_check_faults_armed_ = 0;
+  Duration counter_check_retry_ = std::chrono::seconds{5};
+  std::uint64_t counter_check_timeouts_ = 0;
   std::map<std::uint64_t, Bytes> ul_radio_loss_by_cycle_;
   bool started_ = false;
 
@@ -159,6 +182,7 @@ class BaseStation {
   obs::Counter* m_detaches_ = nullptr;
   obs::Counter* m_attaches_ = nullptr;
   obs::Counter* m_counter_checks_ = nullptr;
+  obs::Counter* m_counter_check_timeouts_ = nullptr;
 };
 
 }  // namespace tlc::epc

@@ -17,6 +17,8 @@ void SpGateway::set_observability(obs::Obs* obs) {
     m_charged_dl_bytes_ = nullptr;
     m_uncharged_dl_packets_ = nullptr;
     m_uncharged_dl_bytes_ = nullptr;
+    m_stalled_ul_bytes_ = nullptr;
+    m_stalled_dl_bytes_ = nullptr;
     return;
   }
   m_charged_ul_packets_ = &obs_->metrics.counter("epc.gw.charged_ul_packets");
@@ -26,6 +28,10 @@ void SpGateway::set_observability(obs::Obs* obs) {
   m_uncharged_dl_packets_ =
       &obs_->metrics.counter("epc.gw.uncharged_dl_packets");
   m_uncharged_dl_bytes_ = &obs_->metrics.counter("epc.gw.uncharged_dl_bytes");
+  m_stalled_ul_bytes_ =
+      &obs_->metrics.counter("epc.gw.fault.stalled_ul_bytes");
+  m_stalled_dl_bytes_ =
+      &obs_->metrics.counter("epc.gw.fault.stalled_dl_bytes");
 }
 
 void SpGateway::set_session_up(bool up) {
@@ -34,6 +40,14 @@ void SpGateway::set_session_up(bool up) {
                     obs::field("up", up));
   }
   session_up_ = up;
+}
+
+void SpGateway::set_counter_stall(bool stalled) {
+  if (stalled != counter_stalled_) {
+    TLC_TRACE_EVENT(obs_, "epc.gw", "counter_stall", obs::TraceLevel::kInfo,
+                    obs::field("stalled", stalled));
+  }
+  counter_stalled_ = stalled;
 }
 
 void SpGateway::forward_downlink(net::Packet packet) {
@@ -52,28 +66,42 @@ void SpGateway::forward_downlink(net::Packet packet) {
     if (uncharged_drop_) uncharged_drop_(packet, now);
     return;
   }
-  accountant_.record(now, charging::Direction::kDownlink, packet.size);
-  if (m_charged_dl_packets_ != nullptr) {
-    m_charged_dl_packets_->inc();
-    m_charged_dl_bytes_->inc(packet.size.count());
+  if (counter_stalled_) {
+    stalled_dl_ += packet.size;
+    if (m_stalled_dl_bytes_ != nullptr) {
+      m_stalled_dl_bytes_->inc(packet.size.count());
+    }
+  } else {
+    accountant_.record(now, charging::Direction::kDownlink, packet.size);
+    if (m_charged_dl_packets_ != nullptr) {
+      m_charged_dl_packets_->inc();
+      m_charged_dl_bytes_->inc(packet.size.count());
+    }
+    TLC_TRACE_EVENT(obs_, "epc.gw", "charge", obs::TraceLevel::kDebug,
+                    obs::field("direction", "downlink"),
+                    obs::field("bytes", packet.size),
+                    obs::field("flow", packet.flow));
   }
-  TLC_TRACE_EVENT(obs_, "epc.gw", "charge", obs::TraceLevel::kDebug,
-                  obs::field("direction", "downlink"),
-                  obs::field("bytes", packet.size),
-                  obs::field("flow", packet.flow));
   if (dl_forward_) dl_forward_(std::move(packet));
 }
 
 void SpGateway::on_uplink_from_enb(const net::Packet& packet, TimePoint at) {
-  accountant_.record(at, charging::Direction::kUplink, packet.size);
-  if (m_charged_ul_packets_ != nullptr) {
-    m_charged_ul_packets_->inc();
-    m_charged_ul_bytes_->inc(packet.size.count());
+  if (counter_stalled_) {
+    stalled_ul_ += packet.size;
+    if (m_stalled_ul_bytes_ != nullptr) {
+      m_stalled_ul_bytes_->inc(packet.size.count());
+    }
+  } else {
+    accountant_.record(at, charging::Direction::kUplink, packet.size);
+    if (m_charged_ul_packets_ != nullptr) {
+      m_charged_ul_packets_->inc();
+      m_charged_ul_bytes_->inc(packet.size.count());
+    }
+    TLC_TRACE_EVENT(obs_, "epc.gw", "charge", obs::TraceLevel::kDebug,
+                    obs::field("direction", "uplink"),
+                    obs::field("bytes", packet.size),
+                    obs::field("flow", packet.flow));
   }
-  TLC_TRACE_EVENT(obs_, "epc.gw", "charge", obs::TraceLevel::kDebug,
-                  obs::field("direction", "uplink"),
-                  obs::field("bytes", packet.size),
-                  obs::field("flow", packet.flow));
   if (ul_forward_) ul_forward_(packet);
 }
 

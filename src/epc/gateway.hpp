@@ -51,6 +51,17 @@ class SpGateway {
   void set_session_up(bool up);
   [[nodiscard]] bool session_up() const { return session_up_; }
 
+  /// Fault injection (DESIGN.md §8): while stalled the charging counters
+  /// freeze — traffic keeps flowing but is not recorded, modelling a hung
+  /// OFCS/CDR pipeline. Stalled volumes are tracked per direction (and in
+  /// counters epc.gw.fault.stalled_{ul,dl}_bytes) so the invariant checker
+  /// can keep the charged-vs-delivered identity exact under the fault.
+  void set_counter_stall(bool stalled);
+  [[nodiscard]] bool counter_stalled() const { return counter_stalled_; }
+  [[nodiscard]] Bytes stalled_bytes(charging::Direction d) const {
+    return d == charging::Direction::kUplink ? stalled_ul_ : stalled_dl_;
+  }
+
   /// Optional policy function: when set, downlink packets are re-stamped
   /// with their flow's bearer (QCI) before forwarding, so installing a
   /// QCI 7 rule mid-stream upgrades the flow immediately (§2.2's gaming
@@ -90,9 +101,12 @@ class SpGateway {
   ForwardFn ul_forward_;
   DropFn uncharged_drop_;
   bool session_up_ = true;
+  bool counter_stalled_ = false;
   const Pcrf* pcrf_ = nullptr;
   double cdr_tamper_ = 1.0;
   Bytes uncharged_dl_;
+  Bytes stalled_ul_;
+  Bytes stalled_dl_;
   std::uint32_t cdr_seq_ = 1000;
 
   obs::Obs* obs_ = nullptr;
@@ -102,6 +116,8 @@ class SpGateway {
   obs::Counter* m_charged_dl_bytes_ = nullptr;
   obs::Counter* m_uncharged_dl_packets_ = nullptr;
   obs::Counter* m_uncharged_dl_bytes_ = nullptr;
+  obs::Counter* m_stalled_ul_bytes_ = nullptr;
+  obs::Counter* m_stalled_dl_bytes_ = nullptr;
 };
 
 }  // namespace tlc::epc

@@ -185,6 +185,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
           run_rng.fork(), emit);
       break;
   }
+  if (config.testbed_hook) config.testbed_hook(bed);
+
   source->start(end);
   bed.run_until(end + std::chrono::seconds{10});
   bed.obs().trace.close_jsonl();

@@ -10,6 +10,7 @@
 // they settle the records, exactly as in the paper's methodology.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -53,6 +54,10 @@ struct ScenarioConfig {
   /// When non-empty, the testbed's structured trace is streamed to this
   /// JSONL file for the whole run (identical seeds → identical bytes).
   std::string trace_jsonl_path;
+  /// Called once after the testbed is built and configured, before any
+  /// traffic flows. The fault layer (src/fault/) uses this to attach
+  /// injectors without exp/ depending on fault/. Must be deterministic.
+  std::function<void(Testbed&)> testbed_hook;
 };
 
 struct CycleOutcome {

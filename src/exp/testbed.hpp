@@ -81,6 +81,9 @@ class Testbed {
   [[nodiscard]] epc::BaseStation& serving_cell() {
     return handover_ ? handover_->serving() : bs_;
   }
+  /// The mobility target cell; non-null only when handover is configured.
+  /// Fault hooks must attach to both cells — the device roams between them.
+  [[nodiscard]] epc::BaseStation* second_cell() { return bs2_.get(); }
   [[nodiscard]] monitor::RrcDownlinkMonitor& rrc_monitor() { return rrc_; }
   /// Policy rules applied by the gateway (install QCI rules here).
   [[nodiscard]] epc::Pcrf& pcrf() { return pcrf_; }

@@ -1,0 +1,77 @@
+// Fault injectors: turn a FaultPlan into live hooks on a running testbed.
+//
+// The link injector implements net::LinkFaultHook (burst drop, bounded
+// duplication, bounded reordering delay); the FaultSession owns the
+// injectors for one scenario run and schedules the EPC-level faults
+// (gateway counter stall, RRC counter-check timeouts, forced handovers)
+// on the testbed's own scheduler. Everything is driven by Rngs forked
+// from the plan seed, so a (plan, scenario) pair replays identically.
+#pragma once
+
+#include <memory>
+
+#include "exp/scenario.hpp"
+#include "fault/plan.hpp"
+#include "net/fault_hook.hpp"
+
+namespace tlc::fault {
+
+/// Per-link fault hook. One instance may serve several links (both cells
+/// share one: the sim is single-threaded and the duplication budget is a
+/// property of the path, not of one cell).
+class LinkFaultInjector final : public net::LinkFaultHook {
+ public:
+  struct Config {
+    std::optional<BurstDrop> burst;
+    std::optional<Duplication> duplication;
+    std::optional<Reorder> reorder;
+  };
+
+  LinkFaultInjector(Config config, Rng rng)
+      : config_(config), rng_(rng) {}
+
+  [[nodiscard]] net::FaultDecision on_deliver(const net::Packet& packet,
+                                              TimePoint now) override;
+
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t duplicated() const { return duplicated_; }
+  [[nodiscard]] std::uint64_t delayed() const { return delayed_; }
+
+ private:
+  Config config_;
+  Rng rng_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t delayed_ = 0;
+};
+
+/// Owns every injector for one scenario run. Build it from a plan, run
+/// the scenario with `scenario()` (whose testbed_hook attaches the
+/// session), and keep the session alive until run_scenario returns.
+class FaultSession {
+ public:
+  explicit FaultSession(FaultPlan plan);
+
+  /// The plan's ScenarioConfig with testbed_hook bound to this session.
+  /// The session must outlive the run_scenario call that consumes it.
+  [[nodiscard]] exp::ScenarioConfig scenario();
+
+  /// Attaches hooks and schedules the EPC faults; called by the hook once
+  /// the testbed is built, before traffic starts.
+  void attach(exp::Testbed& bed);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const LinkFaultInjector* downlink_injector() const {
+    return dl_injector_.get();
+  }
+  [[nodiscard]] const LinkFaultInjector* uplink_injector() const {
+    return ul_injector_.get();
+  }
+
+ private:
+  FaultPlan plan_;
+  std::unique_ptr<LinkFaultInjector> dl_injector_;
+  std::unique_ptr<LinkFaultInjector> ul_injector_;
+};
+
+}  // namespace tlc::fault

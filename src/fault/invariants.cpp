@@ -1,0 +1,194 @@
+#include "fault/invariants.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "exp/sweep.hpp"
+#include "net/packet.hpp"
+#include "tlc/negotiation.hpp"
+#include "tlc/strategy.hpp"
+
+namespace tlc::fault {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string bytes_str(Bytes b) { return std::to_string(b.count()); }
+
+core::StrategyPtr make_style(ClaimStyle style, core::PartyRole role,
+                             double factor) {
+  switch (style) {
+    case ClaimStyle::kOptimal:
+      return role == core::PartyRole::kEdgeVendor
+                 ? core::make_optimal_edge()
+                 : core::make_optimal_operator();
+    case ClaimStyle::kGreedy:
+      return core::make_greedy(role, factor);
+    case ClaimStyle::kOscillating:
+      return core::make_oscillating(role);
+  }
+  return core::make_optimal_edge();
+}
+
+void add(std::vector<Violation>& out, std::uint64_t plan_id,
+         const char* invariant, std::string detail) {
+  out.push_back(Violation{plan_id, invariant, std::move(detail)});
+}
+
+void check_cycle(const FaultPlan& plan, const exp::CycleOutcome& c,
+                 std::vector<Violation>& out) {
+  const core::CrossCheckTolerance tol;
+  const Bytes slack_op = tol.slack_for(c.op_view.received_estimate);
+  const Bytes slack_edge = tol.slack_for(c.edge_view.sent_estimate);
+  const std::string where = "cycle " + std::to_string(c.cycle);
+
+  // T4: rational vs rational converges immediately (fault magnitudes are
+  // bounded so honest views stay within the cross-check tolerance).
+  if (!c.optimal.converged || c.optimal.rounds > 1) {
+    add(out, plan.id, "t4-rounds",
+        where + ": optimal negotiation converged=" +
+            (c.optimal.converged ? "true" : "false") +
+            " rounds=" + std::to_string(c.optimal.rounds));
+  }
+
+  // T2: the converged charge is bounded by the recorded views ± slack.
+  if (c.optimal.converged) {
+    if (c.optimal.charged + slack_op < c.op_view.received_estimate) {
+      add(out, plan.id, "t2-bound",
+          where + ": charged " + bytes_str(c.optimal.charged) +
+              " under operator received " +
+              bytes_str(c.op_view.received_estimate) + " - slack " +
+              bytes_str(slack_op));
+    }
+    if (c.optimal.charged > c.edge_view.sent_estimate + slack_edge) {
+      add(out, plan.id, "t2-bound",
+          where + ": charged " + bytes_str(c.optimal.charged) +
+              " over edge sent " + bytes_str(c.edge_view.sent_estimate) +
+              " + slack " + bytes_str(slack_edge));
+    }
+    const Bytes lo = std::min(c.optimal.edge_claim, c.optimal.operator_claim);
+    const Bytes hi = std::max(c.optimal.edge_claim, c.optimal.operator_claim);
+    if (c.optimal.charged < lo || c.optimal.charged > hi) {
+      add(out, plan.id, "t2-claim-window",
+          where + ": charged " + bytes_str(c.optimal.charged) +
+              " outside final claims [" + bytes_str(lo) + ", " +
+              bytes_str(hi) + "]");
+    }
+  }
+
+  // Selfish-but-naive play must still terminate inside the round budget.
+  if (!c.random.converged) {
+    add(out, plan.id, "random-convergence",
+        where + ": TLC-random did not converge (rounds=" +
+            std::to_string(c.random.rounds) + ")");
+  }
+
+  // Adversarial probe: negotiate the same real views with the plan's claim
+  // styles. Only the rational party's bound is asserted — Theorem 2
+  // protects parties that follow the protocol, not ones that claim
+  // against their own interest.
+  const core::StrategyPtr edge_strategy = make_style(
+      plan.exchange.edge, core::PartyRole::kEdgeVendor, plan.exchange.edge_factor);
+  const core::StrategyPtr op_strategy =
+      make_style(plan.exchange.op, core::PartyRole::kCellularOperator,
+                 plan.exchange.op_factor);
+  Rng nrng{exp::splitmix64(plan.seed ^ (c.cycle * 0x9e3779b97f4a7c15ULL))};
+  const core::NegotiationConfig ncfg{0.5, 64};
+  const core::NegotiationOutcome adv = core::negotiate(
+      *edge_strategy, c.edge_view, *op_strategy, c.op_view, ncfg, nrng);
+  if (adv.converged) {
+    if (plan.exchange.op == ClaimStyle::kOptimal &&
+        adv.charged + slack_op < c.op_view.received_estimate) {
+      add(out, plan.id, "adversarial-op-bound",
+          where + ": " + std::string{to_string(plan.exchange.edge)} +
+              " edge pushed charge to " + bytes_str(adv.charged) +
+              " below operator received " +
+              bytes_str(c.op_view.received_estimate) + " - slack " +
+              bytes_str(slack_op));
+    }
+    if (plan.exchange.edge == ClaimStyle::kOptimal &&
+        adv.charged > c.edge_view.sent_estimate + slack_edge) {
+      add(out, plan.id, "adversarial-edge-bound",
+          where + ": " + std::string{to_string(plan.exchange.op)} +
+              " operator pushed charge to " + bytes_str(adv.charged) +
+              " above edge sent " + bytes_str(c.edge_view.sent_estimate) +
+              " + slack " + bytes_str(slack_edge));
+    }
+  }
+}
+
+void check_gap_identity(const FaultPlan& plan,
+                        const obs::MetricsSnapshot& m,
+                        std::vector<Violation>& out) {
+  // Downlink: charged before the radio leg, so every charged byte is
+  // either delivered, still frozen in the stall ledger, or attributed to
+  // exactly one drop cause. Duplicates live in their own counters and
+  // never inflate delivered_*.
+  const std::uint64_t charged_dl = m.counter_or_zero("epc.gw.charged_dl_bytes");
+  const std::uint64_t stalled_dl =
+      m.counter_or_zero("epc.gw.fault.stalled_dl_bytes");
+  const std::uint64_t delivered_dl = m.counter_or_zero("net.dl.delivered_bytes");
+  std::uint64_t drops_dl = 0;
+  for (std::size_t i = 1; i < net::kDropCauseCount; ++i) {
+    drops_dl += m.counter_or_zero(
+        std::string{"net.dl.drop."} +
+        net::to_string(static_cast<net::DropCause>(i)) + "_bytes");
+  }
+  if (charged_dl + stalled_dl != delivered_dl + drops_dl) {
+    add(out, plan.id, "gap-identity-dl",
+        "charged " + std::to_string(charged_dl) + " + stalled " +
+            std::to_string(stalled_dl) + " != delivered " +
+            std::to_string(delivered_dl) + " + drops " +
+            std::to_string(drops_dl));
+  }
+
+  // Uplink: charged after the radio leg — every byte delivered over the
+  // air reaches the gateway and is either charged or frozen.
+  const std::uint64_t charged_ul = m.counter_or_zero("epc.gw.charged_ul_bytes");
+  const std::uint64_t stalled_ul =
+      m.counter_or_zero("epc.gw.fault.stalled_ul_bytes");
+  const std::uint64_t delivered_ul = m.counter_or_zero("net.ul.delivered_bytes");
+  if (delivered_ul != charged_ul + stalled_ul) {
+    add(out, plan.id, "gap-identity-ul",
+        "delivered " + std::to_string(delivered_ul) + " != charged " +
+            std::to_string(charged_ul) + " + stalled " +
+            std::to_string(stalled_ul));
+  }
+}
+
+}  // namespace
+
+std::string Violation::to_json() const {
+  return "{\"plan\":" + std::to_string(plan_id) + ",\"invariant\":\"" +
+         json_escape(invariant) + "\",\"detail\":\"" + json_escape(detail) +
+         "\"}";
+}
+
+void check_scenario_invariants(const FaultPlan& plan,
+                               const exp::ScenarioResult& result,
+                               std::vector<Violation>& out) {
+  for (const exp::CycleOutcome& c : result.cycles) {
+    check_cycle(plan, c, out);
+  }
+  check_gap_identity(plan, result.metrics, out);
+}
+
+void check_attack_outcomes(const FaultPlan& plan,
+                           const std::vector<AttackOutcome>& outcomes,
+                           std::vector<Violation>& out) {
+  for (const AttackOutcome& a : outcomes) {
+    if (!a.rejected) {
+      add(out, plan.id, "wire-attack-accepted", a.attack + ": " + a.detail);
+    }
+  }
+}
+
+}  // namespace tlc::fault

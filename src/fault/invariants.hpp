@@ -1,0 +1,52 @@
+// Post-scenario invariant checking (DESIGN.md §8).
+//
+// After every fault-injected scenario the checker asserts the properties
+// the paper proves, restated over the simulator's observable state:
+//
+//   * T2 bounded charging — the converged TLC-optimal charge stays within
+//     [x̂_o − slack, x̂_e + slack] of the parties' recorded views, and
+//     inside the window spanned by the final claims.
+//   * T4 one-round convergence — rational-vs-rational negotiation agrees
+//     immediately; injected faults are bounded so honest view skew stays
+//     under the cross-check tolerance (see plan.hpp).
+//   * One-sided protection under adversarial claims — whenever the
+//     adversarial probe converges, the *rational* party's bound holds; a
+//     party claiming against its own interest forfeits only its own.
+//   * Charging-gap identity — every charged-but-undelivered downlink byte
+//     is attributed to exactly one drop cause:
+//       (charged + counter-stalled) − delivered = Σ per-cause drops
+//     with residual exactly 0 (duplicated bytes are counted separately and
+//     uplink delivery must equal charged + stalled).
+//   * Wire attacks always rejected — replayed, truncated, or corrupted
+//     frames never advance a party's state.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "fault/plan.hpp"
+#include "fault/wire_attacks.hpp"
+
+namespace tlc::fault {
+
+struct Violation {
+  std::uint64_t plan_id = 0;
+  std::string invariant;  // "t2-bound", "t4-rounds", "gap-identity-dl", ...
+  std::string detail;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Checks T2/T4/adversarial-protection per measured cycle plus the gap
+/// identities over the final metrics snapshot; appends findings to `out`.
+void check_scenario_invariants(const FaultPlan& plan,
+                               const exp::ScenarioResult& result,
+                               std::vector<Violation>& out);
+
+/// Every wire attack must have been rejected.
+void check_attack_outcomes(const FaultPlan& plan,
+                           const std::vector<AttackOutcome>& outcomes,
+                           std::vector<Violation>& out);
+
+}  // namespace tlc::fault

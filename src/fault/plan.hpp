@@ -1,0 +1,137 @@
+// Deterministic fault plans (DESIGN.md §8).
+//
+// A FaultPlan is a declarative schedule of faults injected into one
+// scenario run: what breaks, where in the stack, when (sim-time), and how
+// hard. Plans are plain data — generating one draws every parameter from
+// an explicitly seeded Rng, so plan `i` of master seed `s` is the same
+// bytes on every machine, and the chaos driver can fan plans across the
+// sweep pool while staying byte-identical to a serial run.
+//
+// Fault magnitudes are bounded by construction (see make_random_plan) so
+// that the protocol invariants the paper proves still hold under injection:
+// view skew stays under the cross-check tolerance, which keeps T4's
+// one-round convergence intact; anything larger would make a *correct*
+// negotiation legitimately take extra rounds and the invariant checker
+// would cry wolf.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace tlc::fault {
+
+/// Window of elevated loss on a link's delivery path (post-charging on the
+/// downlink, post-radio on both): models SLA middlebox brown-outs and
+/// transport-network incidents.
+struct BurstDrop {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double probability = 1.0;  // per-packet drop chance inside the window
+};
+
+/// Duplicate the next `max_packets` delivered packets `copies` times each
+/// (PDCP retransmission glitch). Bounded small: duplicated volume must stay
+/// far below the cross-check tolerance or honest parties would legitimately
+/// disagree by more than the slack.
+struct Duplication {
+  double start_s = 0.0;
+  std::uint32_t max_packets = 0;
+  std::uint32_t copies = 1;
+};
+
+/// Window of random bounded extra delivery delay — packets overtake each
+/// other (reordering) but never jump a cycle boundary by more than
+/// `max_delay_ms`.
+struct Reorder {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double probability = 0.0;
+  double max_delay_ms = 0.0;
+};
+
+/// The gateway's charging counters freeze (OFCS/CDF outage): traffic keeps
+/// flowing but is not recorded. Frozen volume is tracked separately in
+/// epc.gw.fault.stalled_{ul,dl}_bytes so the charging-gap identity can be
+/// stated exactly.
+struct GatewayStall {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+};
+
+/// The next `count` operator-triggered RRC COUNTER CHECKs time out; the
+/// OFCS re-polls `retry_after_s` later. Bounded so midpoint attribution
+/// keeps the delta in the right cycle.
+struct CounterCheckTimeout {
+  std::uint32_t count = 0;
+  double retry_after_s = 2.0;
+};
+
+/// An unscheduled handover forced mid-flow (kills the serving cell's
+/// buffered downlink). Only meaningful when the plan enables mobility.
+struct HandoverKill {
+  double at_s = 0.0;
+};
+
+/// Claim behaviour for the adversarial negotiation probe.
+enum class ClaimStyle : std::uint8_t {
+  kOptimal = 0,      // rational minimax/maximin (the baseline)
+  kGreedy = 1,       // scales the truthful claim by a factor
+  kOscillating = 2,  // ping-pongs between the window extremes
+};
+
+[[nodiscard]] const char* to_string(ClaimStyle s);
+
+/// One adversarial value-level negotiation run against the cycle's real
+/// views. The invariant asserted is one-sided: the *rational* party's bound
+/// must hold whenever the exchange converges; a party claiming against its
+/// own interest forfeits its own protection (Theorem 2 protects parties
+/// that follow the protocol).
+struct AdversarialExchange {
+  ClaimStyle edge = ClaimStyle::kOptimal;
+  double edge_factor = 1.0;  // greedy scale; <1 under-claims
+  ClaimStyle op = ClaimStyle::kOptimal;
+  double op_factor = 1.0;  // greedy scale; >1 over-claims
+};
+
+/// The full schedule for one chaos run: scenario shape + injected faults.
+struct FaultPlan {
+  std::uint64_t id = 0;
+  std::uint64_t seed = 1;  // drives the scenario AND the injectors
+
+  // Scenario shape (maps onto exp::ScenarioConfig).
+  int app_index = 1;  // exp::AppKind underlying value
+  double background_mbps = 0.0;
+  double handover_period_s = 0.0;  // 0 = static device
+  int cycles = 2;
+  double cycle_length_s = 240.0;
+
+  // Injected faults; absent optionals inject nothing at that layer.
+  std::optional<BurstDrop> dl_burst_drop;
+  std::optional<BurstDrop> ul_burst_drop;
+  std::optional<Duplication> dl_duplication;
+  std::optional<Reorder> dl_reorder;
+  std::optional<GatewayStall> gateway_stall;
+  std::optional<CounterCheckTimeout> counter_check_timeout;
+  std::optional<HandoverKill> handover_kill;
+
+  AdversarialExchange exchange;
+
+  /// Whether the wire-attack probes (replay, truncation, corruption) run
+  /// for this plan. They always must be rejected; the flag only trades
+  /// coverage for runtime.
+  bool wire_attacks = true;
+
+  /// Single-line canonical JSON (stable key order) — used in reports and
+  /// in the determinism fingerprint.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Draws a bounded random plan: plan `id` under `master_seed` is fully
+/// deterministic and independent of every other id (splitmix64-mixed).
+[[nodiscard]] FaultPlan make_random_plan(std::uint64_t id,
+                                         std::uint64_t master_seed);
+
+}  // namespace tlc::fault

@@ -1,0 +1,220 @@
+#include "fault/wire_attacks.hpp"
+
+#include <utility>
+
+#include "tlc/protocol.hpp"
+#include "tlc/verifier.hpp"
+#include "wire/codec.hpp"
+
+namespace tlc::fault {
+namespace {
+
+using core::Message;
+using core::ProtocolParty;
+
+/// One fresh edge/operator pair (optimal strategies) plus the wire frames
+/// they exchanged, captured as encoded bytes with their receiver.
+class Probe {
+ public:
+  Probe(const WireAttackContext& ctx, const charging::ChargingCycle& cycle,
+        Rng& rng)
+      : edge_strategy_(core::make_optimal_edge()),
+        op_strategy_(core::make_optimal_operator()),
+        edge_(party_config(ctx, cycle, core::PartyRole::kEdgeVendor),
+              *edge_strategy_, ctx.edge_keys, ctx.operator_keys.public_key(),
+              rng.fork()),
+        op_(party_config(ctx, cycle, core::PartyRole::kCellularOperator),
+            *op_strategy_, ctx.operator_keys, ctx.edge_keys.public_key(),
+            rng.fork()) {}
+
+  struct Frame {
+    ByteVec bytes;
+    core::MessageType type;
+    ProtocolParty* receiver;
+  };
+
+  /// Drives the exchange to completion over encode/decode round-trips,
+  /// recording every frame. Returns false if the exchange did not finish
+  /// with both parties in kDone.
+  bool run_captured() {
+    std::optional<Message> msg = edge_.start();
+    ProtocolParty* receiver = &op_;
+    ProtocolParty* sender = &edge_;
+    while (msg) {
+      ByteVec bytes = core::encode_message(*msg);
+      frames_.push_back(
+          Frame{bytes, core::message_type(*msg), receiver});
+      std::optional<Message> reply =
+          receiver->on_message(core::decode_message(bytes));
+      std::swap(receiver, sender);
+      msg = std::move(reply);
+    }
+    return edge_.state() == core::ProtocolState::kDone &&
+           op_.state() == core::ProtocolState::kDone;
+  }
+
+  /// Last captured frame of `type`, or nullptr.
+  [[nodiscard]] const Frame* last_frame(core::MessageType type) const {
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+      if (it->type == type) return &*it;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] ProtocolParty& edge() { return edge_; }
+  [[nodiscard]] ProtocolParty& op() { return op_; }
+
+ private:
+  static ProtocolParty::Config party_config(
+      const WireAttackContext& ctx, const charging::ChargingCycle& cycle,
+      core::PartyRole role) {
+    ProtocolParty::Config cfg;
+    cfg.role = role;
+    cfg.plan = ctx.plan;
+    cfg.cycle = cycle;
+    cfg.direction = ctx.direction;
+    cfg.view = role == core::PartyRole::kEdgeVendor ? ctx.edge_view
+                                                    : ctx.operator_view;
+    return cfg;
+  }
+
+  core::StrategyPtr edge_strategy_;
+  core::StrategyPtr op_strategy_;
+  ProtocolParty edge_;
+  ProtocolParty op_;
+  std::vector<Frame> frames_;
+};
+
+/// Delivers raw wire bytes to a party, absorbing decode failures (which
+/// count as rejection at the codec layer).
+struct Delivery {
+  bool decoded = false;
+  bool responded = false;
+};
+
+Delivery deliver(ProtocolParty& party, const ByteVec& bytes) {
+  Delivery d;
+  try {
+    const Message msg = core::decode_message(bytes);
+    d.decoded = true;
+    d.responded = party.on_message(msg).has_value();
+  } catch (const wire::DecodeError&) {
+    d.decoded = false;
+  }
+  return d;
+}
+
+charging::ChargingCycle next_cycle(const charging::ChargingCycle& c) {
+  return charging::ChargingCycle{c.start + c.length, c.length, c.index + 1};
+}
+
+}  // namespace
+
+std::vector<AttackOutcome> run_wire_attacks(const WireAttackContext& ctx,
+                                            Rng& rng) {
+  std::vector<AttackOutcome> out;
+
+  // 1. Replay a captured CDR to a party mid-exchange: the stale sequence
+  //    number must be a terminal kReplayedSequence failure.
+  {
+    Probe p{ctx, ctx.cycle, rng};
+    const Message cdr = p.edge().start();
+    const ByteVec bytes = core::encode_message(cdr);
+    (void)p.op().on_message(core::decode_message(bytes));
+    (void)deliver(p.op(), bytes);
+    const bool rejected =
+        p.op().state() == core::ProtocolState::kFailed &&
+        p.op().error() == core::ProtocolError::kReplayedSequence;
+    out.push_back(
+        AttackOutcome{"replay-cdr", rejected, to_string(p.op().error())});
+  }
+
+  // 2. Replay a captured CDA after the exchange finished: a terminal-state
+  //    party must ignore the frame (no state change, no response).
+  {
+    Probe p{ctx, ctx.cycle, rng};
+    if (!p.run_captured()) {
+      out.push_back(AttackOutcome{"replay-cda", false, "exchange-incomplete"});
+    } else if (const Probe::Frame* cda = p.last_frame(core::MessageType::kCda);
+               cda == nullptr) {
+      out.push_back(AttackOutcome{"replay-cda", false, "no-cda-captured"});
+    } else {
+      const Delivery d = deliver(*cda->receiver, cda->bytes);
+      const bool rejected =
+          !d.responded &&
+          cda->receiver->state() == core::ProtocolState::kDone;
+      out.push_back(AttackOutcome{"replay-cda", rejected, "ignored-terminal"});
+    }
+  }
+
+  // 3. Replay a PoC at the public verifier: the (cycle, nonces) replay
+  //    cache must reject the second presentation of a valid receipt.
+  {
+    Probe p{ctx, ctx.cycle, rng};
+    if (!p.run_captured() || !p.op().poc().has_value()) {
+      out.push_back(AttackOutcome{"replay-poc", false, "exchange-incomplete"});
+    } else {
+      core::PublicVerifier verifier{ctx.edge_keys.public_key(),
+                                    ctx.operator_keys.public_key(), ctx.plan};
+      const ByteVec poc_bytes = p.op().poc()->encode();
+      const core::VerifyResult first = verifier.verify(poc_bytes);
+      const core::VerifyResult second = verifier.verify(poc_bytes);
+      const bool rejected = first == core::VerifyResult::kOk &&
+                            second == core::VerifyResult::kReplayed;
+      out.push_back(AttackOutcome{
+          "replay-poc", rejected,
+          std::string{to_string(first)} + "+" + to_string(second)});
+    }
+  }
+
+  // 4. Truncate a CDR's signature: must fail signature verification.
+  {
+    Probe p{ctx, ctx.cycle, rng};
+    Message cdr = p.edge().start();
+    auto& msg = std::get<core::CdrMsg>(cdr);
+    msg.signature.resize(msg.signature.size() / 2);
+    const Delivery d = deliver(p.op(), msg.encode());
+    const bool rejected =
+        !d.decoded || (p.op().state() == core::ProtocolState::kFailed &&
+                       p.op().error() == core::ProtocolError::kBadSignature);
+    out.push_back(AttackOutcome{
+        "truncate-signature", rejected,
+        d.decoded ? to_string(p.op().error()) : "decode-error"});
+  }
+
+  // 5. Flip one random wire byte: either the codec or the signature check
+  //    must reject the frame — never a state transition.
+  {
+    Probe p{ctx, ctx.cycle, rng};
+    const Message cdr = p.edge().start();
+    ByteVec bytes = core::encode_message(cdr);
+    const std::size_t at = rng.uniform_int(0, bytes.size() - 1);
+    bytes[at] ^= 0xFF;
+    const Delivery d = deliver(p.op(), bytes);
+    const bool rejected =
+        !d.decoded || p.op().state() == core::ProtocolState::kFailed;
+    out.push_back(AttackOutcome{
+        "corrupt-byte", rejected,
+        d.decoded ? to_string(p.op().error()) : "decode-error"});
+  }
+
+  // 6. Stale replay across cycles: a frame captured in cycle k presented
+  //    in cycle k+1 must fail the plan-echo check.
+  {
+    Probe old{ctx, ctx.cycle, rng};
+    const Message cdr = old.edge().start();
+    const ByteVec bytes = core::encode_message(cdr);
+    Probe fresh{ctx, next_cycle(ctx.cycle), rng};
+    const Delivery d = deliver(fresh.op(), bytes);
+    const bool rejected =
+        !d.responded &&
+        fresh.op().state() == core::ProtocolState::kFailed &&
+        fresh.op().error() == core::ProtocolError::kPlanMismatch;
+    out.push_back(AttackOutcome{"stale-cycle-replay", rejected,
+                                to_string(fresh.op().error())});
+  }
+
+  return out;
+}
+
+}  // namespace tlc::fault

@@ -1,0 +1,44 @@
+// Wire-level attack probes (DESIGN.md §8).
+//
+// Each probe runs a fresh protocol exchange and mounts one attack on the
+// captured wire bytes: replaying a frame, truncating a signature, flipping
+// a byte, or re-injecting a stale frame from an earlier cycle. The
+// protocol must reject every one — a replayed sequence is a terminal
+// failure, a terminal-state party ignores further input, and the public
+// verifier's replay cache refuses duplicate PoCs. The invariant checker
+// turns any accepted attack into a violation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "charging/data_plan.hpp"
+#include "charging/usage.hpp"
+#include "common/rng.hpp"
+#include "crypto/keys.hpp"
+#include "tlc/types.hpp"
+
+namespace tlc::fault {
+
+struct AttackOutcome {
+  std::string attack;   // stable identifier, e.g. "replay-cdr"
+  bool rejected = false;
+  std::string detail;   // observed error / verdict, for the report
+};
+
+struct WireAttackContext {
+  const crypto::KeyPair& edge_keys;
+  const crypto::KeyPair& operator_keys;
+  charging::DataPlan plan;
+  charging::ChargingCycle cycle;
+  charging::Direction direction = charging::Direction::kUplink;
+  core::LocalView edge_view;
+  core::LocalView operator_view;
+};
+
+/// Runs every probe; `rng` picks corruption offsets and party nonces.
+/// Deterministic for a fixed rng state and context.
+[[nodiscard]] std::vector<AttackOutcome> run_wire_attacks(
+    const WireAttackContext& ctx, Rng& rng);
+
+}  // namespace tlc::fault

@@ -1,0 +1,43 @@
+// Link-layer fault-injection hook (DESIGN.md §8).
+//
+// A CellLink consults its (optional) hook once per packet that *survived*
+// the radio — i.e. at the point where the link would otherwise deliver —
+// so injected faults compose with, rather than mask, the organic loss
+// model. The hook's decision can drop the packet (accounted under
+// DropCause::kFaultInjected so the charging-gap-by-cause identity stays
+// exact), deliver extra duplicate copies (accounted under
+// <prefix>.fault.duplicated_*), or delay delivery to force bounded
+// reordering behind later packets.
+//
+// The interface lives in net/ so the fault library can depend on net
+// without net depending on it; production code never includes this header
+// except through link.hpp's pointer member.
+#pragma once
+
+#include "common/units.hpp"
+#include "net/packet.hpp"
+
+namespace tlc::net {
+
+/// What to do with one about-to-be-delivered packet.
+struct FaultDecision {
+  /// Drop instead of delivering (DropCause::kFaultInjected).
+  bool drop = false;
+  /// Extra copies to deliver alongside the original (duplication fault).
+  std::uint32_t duplicates = 0;
+  /// Additional delivery delay on top of the propagation delay; later
+  /// packets with no delay overtake this one (bounded reorder fault).
+  Duration delay = Duration::zero();
+};
+
+class LinkFaultHook {
+ public:
+  virtual ~LinkFaultHook() = default;
+
+  /// Called for every packet that survived the air interface, just before
+  /// delivery is scheduled. Must be deterministic for a fixed fault plan.
+  [[nodiscard]] virtual FaultDecision on_deliver(const Packet& packet,
+                                                 TimePoint now) = 0;
+};
+
+}  // namespace tlc::net

@@ -46,6 +46,8 @@ void CellLink::set_observability(obs::Obs* obs, std::string prefix) {
     m_drop_bytes_.fill(nullptr);
     m_queue_depth_ = nullptr;
     m_queued_bytes_ = nullptr;
+    m_fault_dup_packets_ = nullptr;
+    m_fault_dup_bytes_ = nullptr;
     return;
   }
   m_delivered_packets_ =
@@ -60,6 +62,10 @@ void CellLink::set_observability(obs::Obs* obs, std::string prefix) {
   }
   m_queue_depth_ = &obs_->metrics.gauge(component_ + ".queue_depth");
   m_queued_bytes_ = &obs_->metrics.gauge(component_ + ".queued_bytes");
+  m_fault_dup_packets_ =
+      &obs_->metrics.counter(component_ + ".fault.duplicated_packets");
+  m_fault_dup_bytes_ =
+      &obs_->metrics.counter(component_ + ".fault.duplicated_bytes");
 }
 
 void CellLink::note_queue_gauges() {
@@ -161,6 +167,17 @@ void CellLink::complete_transmission(QciQueue::Entry entry) {
     }
   }
 
+  // The fault hook sees only packets that survived the organic loss model,
+  // so injected faults compose with — never mask — radio/congestion loss.
+  FaultDecision fault;
+  if (!lost && fault_hook_ != nullptr) {
+    fault = fault_hook_->on_deliver(entry.packet, now);
+    if (fault.drop) {
+      lost = true;
+      cause = DropCause::kFaultInjected;
+    }
+  }
+
   if (lost) {
     report_drop(entry.packet, cause);
   } else {
@@ -174,10 +191,30 @@ void CellLink::complete_transmission(QciQueue::Entry entry) {
                     obs::field("bytes", entry.packet.size),
                     obs::field("flow", entry.packet.flow),
                     obs::field("qci", static_cast<int>(entry.packet.qci)));
-    const TimePoint arrival = now + config_.propagation_delay;
+    const TimePoint arrival = now + config_.propagation_delay + fault.delay;
     sched_.schedule_at(arrival, [this, p = entry.packet, arrival] {
       deliver_(p, arrival);
     });
+    // Duplicate copies ride behind the original, spaced one microsecond
+    // apart so their arrival order is deterministic. They are accounted in
+    // the fault counters, not in delivered_* — the receiver sees them (the
+    // modem counts every octet over the air) but the charging-gap identity
+    // is stated over originals.
+    for (std::uint32_t i = 0; i < fault.duplicates; ++i) {
+      if (m_fault_dup_packets_ != nullptr) {
+        m_fault_dup_packets_->inc();
+        m_fault_dup_bytes_->inc(entry.packet.size.count());
+      }
+      TLC_TRACE_EVENT(obs_, component_, "fault_duplicate",
+                      obs::TraceLevel::kInfo,
+                      obs::field("bytes", entry.packet.size),
+                      obs::field("flow", entry.packet.flow));
+      const TimePoint copy_at =
+          arrival + std::chrono::microseconds{1} * static_cast<int>(i + 1);
+      sched_.schedule_at(copy_at, [this, p = entry.packet, copy_at] {
+        deliver_(p, copy_at);
+      });
+    }
   }
   note_queue_gauges();
 

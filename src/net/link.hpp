@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "net/fault_hook.hpp"
 #include "net/queue.hpp"
 #include "net/radio.hpp"
 #include "obs/obs.hpp"
@@ -101,6 +102,16 @@ class CellLink {
   /// of parallel cells may share a prefix — their counters aggregate.
   void set_observability(obs::Obs* obs, std::string prefix);
 
+  /// Attach (or detach with nullptr) a fault-injection hook consulted for
+  /// every packet that survived the air. Injected drops are accounted as
+  /// DropCause::kFaultInjected; duplicate copies are counted under
+  /// <prefix>.fault.duplicated_{packets,bytes} and are NOT added to
+  /// delivered_* (the identity charged − delivered = Σ drops must keep
+  /// holding with faults active). The hook must outlive the link or be
+  /// detached first.
+  void set_fault_hook(LinkFaultHook* hook) { fault_hook_ = hook; }
+  [[nodiscard]] LinkFaultHook* fault_hook() const { return fault_hook_; }
+
  private:
   void maybe_start_service();
   /// Arms a single service_head() wakeup after `delay`. All service wakeups
@@ -124,6 +135,7 @@ class CellLink {
   bool service_pending_ = false;  // a service_head() wakeup is scheduled
   bool blocked_ = false;
   DropCause blocked_cause_ = DropCause::kDetached;
+  LinkFaultHook* fault_hook_ = nullptr;
   LinkStats stats_;
 
   obs::Obs* obs_ = nullptr;
@@ -134,6 +146,8 @@ class CellLink {
   std::array<obs::Counter*, kDropCauseCount> m_drop_bytes_{};
   obs::Gauge* m_queue_depth_ = nullptr;
   obs::Gauge* m_queued_bytes_ = nullptr;
+  obs::Counter* m_fault_dup_packets_ = nullptr;
+  obs::Counter* m_fault_dup_bytes_ = nullptr;
 };
 
 class WiredLink {

@@ -24,10 +24,11 @@ enum class DropCause : std::uint8_t {
   kSlaViolation,     // app: middlebox dropped an over-deadline frame
   kBufferTimeout,    // link: buffered too long during an outage
   kHandover,         // link: lost in a base-station handover (§3.1 cause 2)
+  kFaultInjected,    // fault harness: deliberate injected loss (DESIGN.md §8)
 };
 
 /// Number of DropCause values (for per-cause counter tables).
-inline constexpr std::size_t kDropCauseCount = 9;
+inline constexpr std::size_t kDropCauseCount = 10;
 
 [[nodiscard]] constexpr const char* to_string(DropCause c) {
   switch (c) {
@@ -49,6 +50,8 @@ inline constexpr std::size_t kDropCauseCount = 9;
       return "buffer-timeout";
     case DropCause::kHandover:
       return "handover";
+    case DropCause::kFaultInjected:
+      return "fault-injected";
   }
   return "?";
 }

@@ -1,6 +1,7 @@
 #include "tlc/strategy.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace tlc::core {
 namespace {
@@ -157,6 +158,68 @@ class RandomOperator final : public Strategy {
   CrossCheckTolerance tol_;
 };
 
+class Greedy final : public Strategy {
+ public:
+  Greedy(PartyRole role, double factor, CrossCheckTolerance tol)
+      : role_(role), factor_(factor), tol_(tol) {}
+  Bytes claim(const LocalView& view, const ClaimBounds& bounds, int,
+              Rng&) const override {
+    const Bytes truthful = role_ == PartyRole::kEdgeVendor
+                               ? view.sent_estimate
+                               : view.received_estimate;
+    const Bytes scaled{static_cast<std::uint64_t>(
+        std::llround(truthful.as_double() * factor_))};
+    return bounds.clamp(scaled);
+  }
+  bool reject_peer(Bytes peer_claim, const LocalView& view) const override {
+    // Keeps the honest cross-check: a rational selfish party still rejects
+    // peer claims its own records disprove (that is what protects it).
+    return role_ == PartyRole::kEdgeVendor
+               ? edge_rejects(peer_claim, view, tol_)
+               : operator_rejects(peer_claim, view, tol_);
+  }
+  std::string_view name() const override {
+    return role_ == PartyRole::kEdgeVendor ? "greedy-edge" : "greedy-operator";
+  }
+
+ private:
+  PartyRole role_;
+  double factor_;
+  CrossCheckTolerance tol_;
+};
+
+class Oscillating final : public Strategy {
+ public:
+  Oscillating(PartyRole role, CrossCheckTolerance tol)
+      : role_(role), tol_(tol) {}
+  Bytes claim(const LocalView& view, const ClaimBounds& bounds, int round,
+              Rng&) const override {
+    // Bounce between the window's ends. On the first round the window is
+    // (0, ∞): anchor the extremes to the party's own records instead so
+    // the claims stay plausible enough to exercise the negotiation rather
+    // than being rejected as absurd on sight.
+    const Bytes low = std::max(bounds.lower,
+                               Bytes{view.received_estimate.count() / 2});
+    const Bytes high =
+        std::min(bounds.upper, view.sent_estimate + view.sent_estimate);
+    return (round % 2 == 0) ? std::max(low, std::min(high, bounds.upper))
+                            : std::min(high, std::max(low, bounds.lower));
+  }
+  bool reject_peer(Bytes peer_claim, const LocalView& view) const override {
+    return role_ == PartyRole::kEdgeVendor
+               ? edge_rejects(peer_claim, view, tol_)
+               : operator_rejects(peer_claim, view, tol_);
+  }
+  std::string_view name() const override {
+    return role_ == PartyRole::kEdgeVendor ? "oscillating-edge"
+                                           : "oscillating-operator";
+  }
+
+ private:
+  PartyRole role_;
+  CrossCheckTolerance tol_;
+};
+
 class Stubborn final : public Strategy {
  public:
   Stubborn(Bytes fixed, CrossCheckTolerance tol) : fixed_(fixed), tol_(tol) {}
@@ -194,6 +257,13 @@ StrategyPtr make_random_operator(double spread, CrossCheckTolerance tol) {
 }
 StrategyPtr make_stubborn(Bytes fixed_claim, CrossCheckTolerance tol) {
   return std::make_unique<Stubborn>(fixed_claim, tol);
+}
+StrategyPtr make_greedy(PartyRole role, double factor,
+                        CrossCheckTolerance tol) {
+  return std::make_unique<Greedy>(role, factor, tol);
+}
+StrategyPtr make_oscillating(PartyRole role, CrossCheckTolerance tol) {
+  return std::make_unique<Oscillating>(role, tol);
 }
 
 }  // namespace tlc::core

@@ -75,4 +75,20 @@ using StrategyPtr = std::unique_ptr<Strategy>;
 [[nodiscard]] StrategyPtr make_stubborn(Bytes fixed_claim,
                                         CrossCheckTolerance tol = {});
 
+/// Adversarial (fault harness, DESIGN.md §8): scales the truthful claim by
+/// `factor` every round — an edge with factor 0.6 under-claims 40%, an
+/// operator with factor 1.4 over-claims 40%. Obeys the negotiated bounds
+/// (a bound violation is detected outright), so this probes how far a
+/// *protocol-compliant* selfish party can push the charge before the
+/// honest peer's cross-check stops it (Theorem 2's bound).
+[[nodiscard]] StrategyPtr make_greedy(PartyRole role, double factor,
+                                      CrossCheckTolerance tol = {});
+
+/// Adversarial: ping-pongs between the extremes of the current claim
+/// window each round, never converging on its own — probes Algorithm 1's
+/// bound-tightening termination (the window must still contract, and the
+/// exchange must end within max_rounds with no PoC rather than hang).
+[[nodiscard]] StrategyPtr make_oscillating(PartyRole role,
+                                           CrossCheckTolerance tol = {});
+
 }  // namespace tlc::core

@@ -1,0 +1,67 @@
+// The chaos driver's contract: deterministic for a fixed seed (regardless
+// of worker count), zero violations on a healthy tree, and full attack
+// coverage in every plan that enables wire attacks.
+#include "fault/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::fault {
+namespace {
+
+ChaosOptions small(int jobs) {
+  ChaosOptions o;
+  o.plans = 6;
+  o.jobs = jobs;
+  o.seed = 404;
+  return o;
+}
+
+TEST(Chaos, HealthyTreeReportsZeroViolations) {
+  const ChaosReport report = run_chaos(small(2));
+  ASSERT_EQ(report.outcomes.size(), 6u);
+  for (const Violation& v : report.violations) ADD_FAILURE() << v.to_json();
+}
+
+TEST(Chaos, ReportIsDeterministicAcrossRunsAndJobCounts) {
+  const ChaosReport serial = run_chaos(small(1));
+  const ChaosReport parallel = run_chaos(small(3));
+  EXPECT_EQ(serial.fingerprint(), parallel.fingerprint());
+  EXPECT_EQ(serial.to_json(), parallel.to_json());
+
+  const ChaosReport again = run_chaos(small(1));
+  EXPECT_EQ(serial.fingerprint(), again.fingerprint());
+}
+
+TEST(Chaos, EveryPlanRunsTheFullAttackSuite) {
+  const ChaosReport report = run_chaos(small(2));
+  for (const PlanOutcome& o : report.outcomes) {
+    EXPECT_EQ(o.attacks.size(), 6u) << "plan " << o.plan.id;
+    for (const AttackOutcome& a : o.attacks) {
+      EXPECT_TRUE(a.rejected)
+          << "plan " << o.plan.id << " attack " << a.attack << ": "
+          << a.detail;
+    }
+    EXPECT_EQ(o.result_digest.size(), 64u);  // hex SHA-256
+  }
+}
+
+TEST(Chaos, DisablingAttacksChangesOnlyCoverage) {
+  ChaosOptions o = small(1);
+  o.wire_attacks = false;
+  const ChaosReport report = run_chaos(o);
+  ASSERT_EQ(report.outcomes.size(), 6u);
+  for (const PlanOutcome& out : report.outcomes) {
+    EXPECT_TRUE(out.attacks.empty());
+  }
+  EXPECT_TRUE(report.violations.empty());
+}
+
+TEST(Chaos, DifferentSeedsProduceDifferentFleets) {
+  ChaosOptions a = small(1);
+  ChaosOptions b = small(1);
+  b.seed = 405;
+  EXPECT_NE(run_chaos(a).fingerprint(), run_chaos(b).fingerprint());
+}
+
+}  // namespace
+}  // namespace tlc::fault

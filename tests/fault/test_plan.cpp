@@ -1,0 +1,95 @@
+#include "fault/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tlc::fault {
+namespace {
+
+TEST(FaultPlan, GenerationIsDeterministic) {
+  for (std::uint64_t id = 0; id < 32; ++id) {
+    const FaultPlan a = make_random_plan(id, 42);
+    const FaultPlan b = make_random_plan(id, 42);
+    EXPECT_EQ(a.describe(), b.describe()) << "plan " << id;
+  }
+}
+
+TEST(FaultPlan, DistinctIdsAndSeedsDiverge) {
+  std::set<std::string> seen;
+  for (std::uint64_t id = 0; id < 16; ++id) {
+    seen.insert(make_random_plan(id, 1).describe());
+    seen.insert(make_random_plan(id, 2).describe());
+  }
+  EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(FaultPlan, MagnitudesStayWithinInvariantPreservingBounds) {
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    const FaultPlan p = make_random_plan(id, 7);
+    const double measured_start = p.cycle_length_s;
+    const double measured_end = p.cycle_length_s * (1.0 + p.cycles);
+    if (p.dl_duplication) {
+      // Duplicated volume must stay far below the 3% cross-check slack.
+      EXPECT_LE(p.dl_duplication->max_packets, 64u);
+      EXPECT_LE(p.dl_duplication->copies, 2u);
+    }
+    if (p.counter_check_timeout) {
+      // Retry + 2 s OFCS jitter ≤ 2.5% of the cycle (see plan.cpp).
+      EXPECT_LE(p.counter_check_timeout->retry_after_s, 4.0);
+      EXPECT_LE(p.counter_check_timeout->count, 2u);
+    }
+    if (p.dl_reorder) {
+      EXPECT_LE(p.dl_reorder->max_delay_ms, 50.0);
+    }
+    for (const auto& burst : {p.dl_burst_drop, p.ul_burst_drop}) {
+      if (!burst) continue;
+      EXPECT_GE(burst->start_s, measured_start);
+      EXPECT_LE(burst->start_s + burst->duration_s, measured_end);
+    }
+    if (p.handover_kill) {
+      EXPECT_GT(p.handover_period_s, 0.0)
+          << "handover kill requires mobility";
+    }
+    if (p.exchange.edge == ClaimStyle::kGreedy) {
+      EXPECT_GE(p.exchange.edge_factor, 0.8);
+      EXPECT_LE(p.exchange.edge_factor, 1.0);
+    }
+    if (p.exchange.op == ClaimStyle::kGreedy) {
+      EXPECT_GE(p.exchange.op_factor, 1.0);
+      EXPECT_LE(p.exchange.op_factor, 1.25);
+    }
+  }
+}
+
+TEST(FaultPlan, DescribeIsCanonicalJson) {
+  const FaultPlan p = make_random_plan(3, 9);
+  const std::string json = p.describe();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"id\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"exchange\""), std::string::npos);
+}
+
+TEST(FaultPlan, EveryFaultTypeAppearsAcrossAPool) {
+  bool burst = false, dup = false, reorder = false, stall = false,
+       cc = false, kill = false, greedy = false, oscillating = false;
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    const FaultPlan p = make_random_plan(id, 1);
+    burst |= p.dl_burst_drop.has_value() || p.ul_burst_drop.has_value();
+    dup |= p.dl_duplication.has_value();
+    reorder |= p.dl_reorder.has_value();
+    stall |= p.gateway_stall.has_value();
+    cc |= p.counter_check_timeout.has_value();
+    kill |= p.handover_kill.has_value();
+    greedy |= p.exchange.edge == ClaimStyle::kGreedy ||
+              p.exchange.op == ClaimStyle::kGreedy;
+    oscillating |= p.exchange.edge == ClaimStyle::kOscillating ||
+                   p.exchange.op == ClaimStyle::kOscillating;
+  }
+  EXPECT_TRUE(burst && dup && reorder && stall && cc && kill && greedy &&
+              oscillating);
+}
+
+}  // namespace
+}  // namespace tlc::fault

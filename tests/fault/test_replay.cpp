@@ -1,0 +1,123 @@
+// Replay-attack regressions over real wire bytes: frames are captured from
+// a live exchange, then re-injected verbatim. These tests pin the exact
+// rejection path — they fail if replay protection is weakened anywhere
+// between the codec and the state machine.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <utility>
+#include <variant>
+
+#include "tlc/protocol_fixture.hpp"
+#include "wire/codec.hpp"
+
+namespace tlc::core {
+namespace {
+
+class ReplayTest : public testing::ProtocolFixture {
+ protected:
+  static constexpr LocalView kEdgeView{Bytes{1'000'000}, Bytes{920'000}};
+  static constexpr LocalView kOpView{Bytes{990'000}, Bytes{915'000}};
+
+  struct Pair {
+    StrategyPtr edge_strategy = make_optimal_edge();
+    StrategyPtr op_strategy = make_optimal_operator();
+    ProtocolParty edge;
+    ProtocolParty op;
+
+    Pair()
+        : edge(edge_config(kEdgeView), *edge_strategy, edge_keys(),
+               operator_keys().public_key(), Rng{21}),
+          op(operator_config(kOpView), *op_strategy, operator_keys(),
+             edge_keys().public_key(), Rng{22}) {}
+  };
+};
+
+TEST_F(ReplayTest, ReplayedCdrIsTerminalSequenceFailure) {
+  Pair p;
+  const Message cdr = p.edge.start();
+  const ByteVec bytes = encode_message(cdr);
+
+  const auto first = p.op.on_message(decode_message(bytes));
+  EXPECT_TRUE(first.has_value());
+  EXPECT_EQ(p.op.state(), ProtocolState::kNegotiating);
+
+  // Byte-identical re-injection: the stale sequence number must kill the
+  // exchange with kReplayedSequence specifically, not a generic failure.
+  const auto second = p.op.on_message(decode_message(bytes));
+  EXPECT_FALSE(second.has_value());
+  EXPECT_EQ(p.op.state(), ProtocolState::kFailed);
+  EXPECT_EQ(p.op.error(), ProtocolError::kReplayedSequence);
+}
+
+TEST_F(ReplayTest, ReplayedCdaIsIgnoredByTerminalParty) {
+  Pair p;
+  // Drive the exchange by hand so the CDA's wire bytes can be captured.
+  std::optional<Message> msg = p.edge.start();
+  ProtocolParty* receiver = &p.op;
+  ProtocolParty* sender = &p.edge;
+  ByteVec cda_bytes;
+  ProtocolParty* cda_receiver = nullptr;
+  while (msg) {
+    const ByteVec bytes = encode_message(*msg);
+    if (std::holds_alternative<CdaMsg>(*msg)) {
+      cda_bytes = bytes;
+      cda_receiver = receiver;
+    }
+    std::optional<Message> reply = receiver->on_message(decode_message(bytes));
+    std::swap(receiver, sender);
+    msg = std::move(reply);
+  }
+  ASSERT_EQ(p.edge.state(), ProtocolState::kDone);
+  ASSERT_EQ(p.op.state(), ProtocolState::kDone);
+  ASSERT_NE(cda_receiver, nullptr);
+
+  const Bytes charged_before = cda_receiver->charged();
+  const auto reply = cda_receiver->on_message(decode_message(cda_bytes));
+  EXPECT_FALSE(reply.has_value());
+  EXPECT_EQ(cda_receiver->state(), ProtocolState::kDone);
+  EXPECT_EQ(cda_receiver->charged(), charged_before);
+}
+
+TEST_F(ReplayTest, VerifierReplayCacheRejectsSecondPresentation) {
+  const PocMsg poc = make_valid_poc(kEdgeView, kOpView, 31);
+  PublicVerifier verifier{edge_keys().public_key(),
+                          operator_keys().public_key(), plan()};
+  const ByteVec bytes = poc.encode();
+  EXPECT_EQ(verifier.verify(bytes), VerifyResult::kOk);
+  EXPECT_EQ(verifier.verify(bytes), VerifyResult::kReplayed);
+  // Still cached on the third try — the cache is not single-shot.
+  EXPECT_EQ(verifier.verify(bytes), VerifyResult::kReplayed);
+}
+
+TEST_F(ReplayTest, DistinctExchangesAreNotMistakenForReplays) {
+  PublicVerifier verifier{edge_keys().public_key(),
+                          operator_keys().public_key(), plan()};
+  // Fresh nonces per exchange: two honest receipts for the same views and
+  // cycle must both verify.
+  EXPECT_EQ(verifier.verify(make_valid_poc(kEdgeView, kOpView, 41).encode()),
+            VerifyResult::kOk);
+  EXPECT_EQ(verifier.verify(make_valid_poc(kEdgeView, kOpView, 42).encode()),
+            VerifyResult::kOk);
+}
+
+TEST_F(ReplayTest, TruncatedSignatureNeverAdvancesState) {
+  Pair p;
+  Message cdr = p.edge.start();
+  auto& msg = std::get<CdrMsg>(cdr);
+  msg.signature.resize(msg.signature.size() / 2);
+  bool decoded = true;
+  try {
+    const auto reply = p.op.on_message(decode_message(msg.encode()));
+    EXPECT_FALSE(reply.has_value());
+  } catch (const wire::DecodeError&) {
+    decoded = false;
+  }
+  if (decoded) {
+    EXPECT_EQ(p.op.state(), ProtocolState::kFailed);
+    EXPECT_EQ(p.op.error(), ProtocolError::kBadSignature);
+  }
+}
+
+}  // namespace
+}  // namespace tlc::core

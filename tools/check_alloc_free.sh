@@ -5,12 +5,22 @@
 # allocations per schedule→dispatch and schedule→cancel→drain cycle) plus
 # the perf-smoke scheduler microbench, which exercises the 4-ary heap and
 # slot recycling at a small iteration count.
+#
+# Self-configuring: a missing or unconfigured build dir is created from the
+# `default` preset (or a plain configure when a custom dir is given), so the
+# script behaves identically on a clean CI checkout and a developer tree.
 set -eu
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
-cmake -S "$repo_root" -B "$build_dir" >/dev/null
+if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+  if [ "$build_dir" = "$repo_root/build" ]; then
+    (cd "$repo_root" && cmake --preset default >/dev/null)
+  else
+    cmake -S "$repo_root" -B "$build_dir" >/dev/null
+  fi
+fi
 
 cmake --build "$build_dir" -j "$(nproc)" \
   --target test_scheduler_alloc bench_scheduler

@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Soft perf-regression gate: compares freshly produced bench JSON against
+# the committed baselines (BENCH_sched.json / BENCH_sweep.json) and warns —
+# without failing — when a throughput metric dropped more than 20%.
+# CI runners are noisy shared machines, so this is advisory; a hard gate
+# would flake. Sustained warnings across pushes are the real signal.
+#
+#   tools/check_bench_regression.sh NEW_sched.json NEW_sweep.json
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+new_sched="${1:-}"
+new_sweep="${2:-}"
+
+# compare FILE BASELINE KEY — prints a warning when new < 0.8 * baseline.
+compare() {
+  file="$1"
+  baseline="$2"
+  key="$3"
+  old_v="$(sed -n "s/^.*\"$key\": \([0-9.]*\).*$/\1/p" "$baseline" | head -1)"
+  new_v="$(sed -n "s/^.*\"$key\": \([0-9.]*\).*$/\1/p" "$file" | head -1)"
+  if [ -z "$old_v" ] || [ -z "$new_v" ]; then
+    echo "NOTE: $key missing in $file or $baseline; skipped."
+    return 0
+  fi
+  ok="$(awk -v n="$new_v" -v o="$old_v" 'BEGIN { print (n >= 0.8 * o) ? 1 : 0 }')"
+  if [ "$ok" = "1" ]; then
+    echo "ok:   $key $new_v (baseline $old_v)"
+  else
+    echo "WARN: $key regressed >20%: $new_v vs baseline $old_v"
+    warned=1
+  fi
+}
+
+warned=0
+if [ -n "$new_sched" ] && [ -f "$new_sched" ]; then
+  compare "$new_sched" "$repo_root/BENCH_sched.json" \
+    "schedule_dispatch_events_per_sec"
+  compare "$new_sched" "$repo_root/BENCH_sched.json" "mixed_events_per_sec"
+fi
+if [ -n "$new_sweep" ] && [ -f "$new_sweep" ]; then
+  compare "$new_sweep" "$repo_root/BENCH_sweep.json" \
+    "parallel_events_per_sec"
+fi
+
+if [ "$warned" = "1" ]; then
+  echo "WARN: at least one bench metric regressed >20% (soft gate: not failing)."
+fi
+exit 0

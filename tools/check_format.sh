@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# CI-style check: every tracked C++ source must match .clang-format
+# (Google style, 80 columns — see the repo root). Runs clang-format in
+# dry-run mode so CI fails loudly on drift without rewriting anything;
+# pass --fix to reformat in place instead.
+#
+# Skips with success when no clang-format binary is available (the local
+# dev container does not ship one); the CI lint leg installs it.
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+mode="${1:-check}"
+
+fmt=""
+for candidate in clang-format clang-format-19 clang-format-18 \
+                 clang-format-17 clang-format-16 clang-format-15; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    fmt="$candidate"
+    break
+  fi
+done
+
+if [ -z "$fmt" ]; then
+  echo "SKIP: no clang-format binary found; install one to run this check."
+  exit 0
+fi
+
+cd "$repo_root"
+files="$(git ls-files '*.hpp' '*.cpp')"
+
+if [ "$mode" = "--fix" ]; then
+  # shellcheck disable=SC2086
+  "$fmt" -i $files
+  echo "OK: reformatted tracked sources with $fmt."
+else
+  # shellcheck disable=SC2086
+  "$fmt" --dry-run -Werror $files
+  echo "OK: tracked sources match .clang-format ($fmt)."
+fi

@@ -6,17 +6,27 @@
 # test. Any data race in the sweep engine, the thread-local scratch buffers,
 # or the log-hook globals fails the run.
 #
+# Self-configuring: a missing or unconfigured build dir is created from the
+# `tsan` preset (or a plain configure when a custom dir is given), so the
+# script behaves identically on a clean CI checkout and a developer tree.
+#
 # Benchmarks and examples are excluded to keep the instrumented build small.
 set -eu
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-tsan}"
 
-cmake -S "$repo_root" -B "$build_dir" \
-  -DTLC_SANITIZE=thread \
-  -DTLC_BUILD_BENCH=OFF \
-  -DTLC_BUILD_EXAMPLES=OFF \
-  >/dev/null
+if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+  if [ "$build_dir" = "$repo_root/build-tsan" ]; then
+    (cd "$repo_root" && cmake --preset tsan >/dev/null)
+  else
+    cmake -S "$repo_root" -B "$build_dir" \
+      -DTLC_SANITIZE=thread \
+      -DTLC_BUILD_BENCH=OFF \
+      -DTLC_BUILD_EXAMPLES=OFF \
+      >/dev/null
+  fi
+fi
 
 cmake --build "$build_dir" -j "$(nproc)"
 

@@ -10,18 +10,26 @@
 // Contrast with bench_ablation_sync_baseline, where a record-synchronizing
 // scheme (the Theorem 1 strawman) visibly inflates latency.
 #include <cstdio>
+#include <map>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "epc/basestation.hpp"
 #include "exp/device_profile.hpp"
 #include "exp/metrics.hpp"
+#include "obs/metrics.hpp"
 
 using namespace tlc;
 using namespace tlc::exp;
 
 namespace {
 
-double measure_rtt_ms(const DeviceProfile& dev, bool tlc_active,
+struct RttResult {
+  double mean_ms = 0.0;
+  obs::LogHistogramSnapshot percentiles;  // RTT in ns
+};
+
+RttResult measure_rtt(const DeviceProfile& dev, bool tlc_active,
                       std::uint64_t seed) {
   sim::Scheduler sched;
   charging::DataPlan plan;
@@ -38,6 +46,7 @@ double measure_rtt_ms(const DeviceProfile& dev, bool tlc_active,
                       sim::NodeClock{}};
 
   OnlineStats rtt_ms;
+  obs::LogHistogram rtt_hist;
   std::map<std::uint64_t, TimePoint> sent_at;
 
   // Echo at the device, time at the uplink exit (the "server" side).
@@ -46,11 +55,13 @@ double measure_rtt_ms(const DeviceProfile& dev, bool tlc_active,
     echo.direction = charging::Direction::kUplink;
     bs.send_uplink(std::move(echo));
   });
-  bs.set_uplink_sink([&rtt_ms, &sent_at, &sched](const net::Packet& p,
-                                                 TimePoint) {
+  bs.set_uplink_sink([&rtt_ms, &rtt_hist, &sent_at, &sched](
+                         const net::Packet& p, TimePoint) {
     const auto it = sent_at.find(p.id);
     if (it != sent_at.end()) {
-      rtt_ms.add(to_seconds(sched.now() - it->second) * 1e3);
+      const Duration rtt = sched.now() - it->second;
+      rtt_ms.add(to_seconds(rtt) * 1e3);
+      rtt_hist.observe_duration(rtt);
     }
   });
   if (tlc_active) {
@@ -77,24 +88,80 @@ double measure_rtt_ms(const DeviceProfile& dev, bool tlc_active,
                       });
   }
   sched.run_until(kTimeZero + std::chrono::seconds{25});
-  return rtt_ms.mean();
+  obs::LogHistogramSnapshot snap;
+  snap.count = rtt_hist.count();
+  snap.sum = rtt_hist.sum();
+  snap.min = rtt_hist.min();
+  snap.max = rtt_hist.max();
+  snap.p50 = rtt_hist.quantile(0.50);
+  snap.p90 = rtt_hist.quantile(0.90);
+  snap.p99 = rtt_hist.quantile(0.99);
+  return RttResult{rtt_ms.mean(), snap};
 }
 
 }  // namespace
 
 int main() {
   std::printf("## Figure 16a: in-cycle ping RTT with and without TLC\n\n");
-  Table table{{"device", "RTT w/o TLC (ms)", "RTT w/ TLC (ms)", "delta"}};
+  Table table{{"device", "RTT w/o TLC (ms)", "RTT w/ TLC (ms)", "delta",
+               "p50/p99 w/ TLC (ms)"}};
+  struct Row {
+    std::string device;
+    RttResult without;
+    RttResult with;
+  };
+  std::vector<Row> rows;
   for (const DeviceProfile& dev : device_profiles()) {
     if (dev.name == "Z840") continue;  // the paper plots the three devices
-    const double without = measure_rtt_ms(dev, false, 11);
-    const double with = measure_rtt_ms(dev, true, 11);
-    table.add_row({std::string(dev.name), fmt(without, 3), fmt(with, 3),
-                   fmt(with - without, 3) + " ms"});
+    Row row{std::string(dev.name), measure_rtt(dev, false, 11),
+            measure_rtt(dev, true, 11)};
+    table.add_row({row.device, fmt(row.without.mean_ms, 3),
+                   fmt(row.with.mean_ms, 3),
+                   fmt(row.with.mean_ms - row.without.mean_ms, 3) + " ms",
+                   fmt(static_cast<double>(row.with.percentiles.p50) / 1e6,
+                       3) +
+                       "/" +
+                       fmt(static_cast<double>(row.with.percentiles.p99) /
+                               1e6,
+                           3)});
+    rows.push_back(std::move(row));
   }
   table.print();
   std::printf("\npaper: 'RTT exhibits marginal differences with/without "
               "TLC' — the delta column\nmust be ~0: counter checks ride the "
               "control plane and negotiation is off-path.\n");
+
+  // Machine-readable percentiles for regression tracking, in the same
+  // shape as BENCH_sched.json / BENCH_sweep.json.
+  std::FILE* out = std::fopen("BENCH_fig16.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n  \"devices\": [");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      const auto ns = [](std::uint64_t v) {
+        return static_cast<unsigned long long>(v);
+      };
+      std::fprintf(
+          out,
+          "%s\n    {\"device\": \"%s\",\n"
+          "     \"rtt_ms_without_tlc\": %.3f, \"rtt_ms_with_tlc\": %.3f,\n"
+          "     \"without_tlc_rtt_ns\": {\"count\": %llu, \"p50\": %llu, "
+          "\"p90\": %llu, \"p99\": %llu, \"max\": %llu},\n"
+          "     \"with_tlc_rtt_ns\": {\"count\": %llu, \"p50\": %llu, "
+          "\"p90\": %llu, \"p99\": %llu, \"max\": %llu}}",
+          i == 0 ? "" : ",", r.device.c_str(), r.without.mean_ms,
+          r.with.mean_ms, ns(r.without.percentiles.count),
+          ns(r.without.percentiles.p50), ns(r.without.percentiles.p90),
+          ns(r.without.percentiles.p99), ns(r.without.percentiles.max),
+          ns(r.with.percentiles.count), ns(r.with.percentiles.p50),
+          ns(r.with.percentiles.p90), ns(r.with.percentiles.p99),
+          ns(r.with.percentiles.max));
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_fig16.json\n");
+  } else {
+    std::perror("BENCH_fig16.json");
+  }
   return 0;
 }

@@ -28,8 +28,9 @@ BaseStation::BaseStation(sim::Scheduler& sched, BaseStationConfig config,
             if (uplink_sink_) uplink_sink_(p, at);
           },
           [this](const net::Packet& p, net::DropCause cause, TimePoint at) {
-            if (cause == net::DropCause::kRadioLoss ||
-                cause == net::DropCause::kCongestionLoss) {
+            if ((cause == net::DropCause::kRadioLoss ||
+                 cause == net::DropCause::kCongestionLoss) &&
+                p.flow != net::kControlFlow) {
               // Granted transmission failed on the air: the scheduler sees
               // this, so the operator can count it toward x̂_e.
               const std::uint64_t cycle =
@@ -72,12 +73,31 @@ void BaseStation::start() {
 
 void BaseStation::send_downlink(net::Packet packet) {
   note_activity();
+  if (packet.trace_id != 0) {
+    const obs::SpanContext ctx{packet.trace_id, packet.span_id};
+    TLC_TRACE_EVENT(obs_, component_, "process", obs::TraceLevel::kInfo,
+                    obs::trace_field(ctx), obs::span_field(ctx),
+                    obs::field("direction", "downlink"),
+                    obs::field("bytes", packet.size));
+  }
   dl_link_.enqueue(std::move(packet));
 }
 
 void BaseStation::send_uplink(net::Packet packet) {
   note_activity();
-  device_.note_modem_transmitted(packet.size);
+  // Control-plane (settlement) packets are excluded from the modem's
+  // tamper-resilient counters: they are zero-rated, so counting them would
+  // skew the COUNTER CHECK record against the charged volume.
+  if (packet.flow != net::kControlFlow) {
+    device_.note_modem_transmitted(packet.size);
+  }
+  if (packet.trace_id != 0) {
+    const obs::SpanContext ctx{packet.trace_id, packet.span_id};
+    TLC_TRACE_EVENT(obs_, component_, "process", obs::TraceLevel::kInfo,
+                    obs::trace_field(ctx), obs::span_field(ctx),
+                    obs::field("direction", "uplink"),
+                    obs::field("bytes", packet.size));
+  }
   ul_link_.enqueue(std::move(packet));
 }
 

@@ -14,6 +14,9 @@ void EdgeDevice::note_modem_transmitted(Bytes bytes) {
 
 void EdgeDevice::on_downlink_delivered(const net::Packet& packet,
                                        TimePoint now) {
+  // Zero-rated control-plane traffic (the TLC settlement exchange) stays
+  // out of the usage views the parties later negotiate over.
+  if (packet.flow == net::kControlFlow) return;
   modem_rx_ += packet.size.count();
   app_usage_.record(now, charging::Direction::kDownlink, packet.size);
 }

@@ -52,6 +52,13 @@ void SpGateway::set_counter_stall(bool stalled) {
 
 void SpGateway::forward_downlink(net::Packet packet) {
   const TimePoint now = sched_.now();
+  if (packet.trace_id != 0) {
+    const obs::SpanContext ctx{packet.trace_id, packet.span_id};
+    TLC_TRACE_EVENT(obs_, "epc.gw", "process", obs::TraceLevel::kInfo,
+                    obs::trace_field(ctx), obs::span_field(ctx),
+                    obs::field("direction", "downlink"),
+                    obs::field("bytes", packet.size));
+  }
   if (pcrf_ != nullptr) pcrf_->apply(packet);
   if (!session_up_) {
     uncharged_dl_ += packet.size;
@@ -86,6 +93,13 @@ void SpGateway::forward_downlink(net::Packet packet) {
 }
 
 void SpGateway::on_uplink_from_enb(const net::Packet& packet, TimePoint at) {
+  if (packet.trace_id != 0) {
+    const obs::SpanContext ctx{packet.trace_id, packet.span_id};
+    TLC_TRACE_EVENT(obs_, "epc.gw", "process", obs::TraceLevel::kInfo,
+                    obs::trace_field(ctx), obs::span_field(ctx),
+                    obs::field("direction", "uplink"),
+                    obs::field("bytes", packet.size));
+  }
   if (counter_stalled_) {
     stalled_ul_ += packet.size;
     if (m_stalled_ul_bytes_ != nullptr) {

@@ -1,5 +1,6 @@
 #include "exp/scenario.hpp"
 
+#include <algorithm>
 #include <memory>
 
 #include "common/log.hpp"
@@ -187,13 +188,39 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   }
   if (config.testbed_hook) config.testbed_hook(bed);
 
+  // Wire settlement runs strictly after the measured window: the workload
+  // has stopped by then, so control traffic consumes radio RNG draws only
+  // once every app packet's fate is sealed — enabling it cannot change a
+  // single cycle outcome.
+  const TimePoint drain_end = end + std::chrono::seconds{10};
+  std::unique_ptr<WireSettlement> settlement;
+  if (config.wire_settlement) {
+    WireSettlementConfig wcfg;
+    wcfg.direction = direction;
+    wcfg.dl_source = config.dl_source;
+    wcfg.cycles = config.cycles;
+    wcfg.seed = config.seed;
+    wcfg.deadline = drain_end;
+    settlement = std::make_unique<WireSettlement>(bed, wcfg);
+    settlement->start(end + std::chrono::milliseconds{1});
+  }
+
   source->start(end);
-  bed.run_until(end + std::chrono::seconds{10});
+  bed.run_until(drain_end);
   bed.obs().trace.close_jsonl();
 
   ScenarioResult result;
   result.config = config;
   result.metrics = bed.obs().metrics.snapshot();
+  if (settlement) result.settlements = settlement->outcomes();
+  {
+    const std::vector<obs::TraceEvent> ring = bed.obs().trace.events();
+    const std::size_t keep = std::min<std::size_t>(ring.size(), 64);
+    result.trace_tail.reserve(keep);
+    for (std::size_t i = ring.size() - keep; i < ring.size(); ++i) {
+      result.trace_tail.push_back(ring[i].to_jsonl());
+    }
+  }
   result.measured_app_mbps =
       source->bytes_emitted().as_double() * 8.0 /
       to_seconds(end - kTimeZero) / 1e6;

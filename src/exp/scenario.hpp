@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "exp/testbed.hpp"
+#include "exp/wire_exchange.hpp"
 #include "tlc/negotiation.hpp"
 
 namespace tlc::exp {
@@ -54,6 +55,13 @@ struct ScenarioConfig {
   /// When non-empty, the testbed's structured trace is streamed to this
   /// JSONL file for the whole run (identical seeds → identical bytes).
   std::string trace_jsonl_path;
+  /// Run the wire-level CDR→CDA→PoC settlement (exp/wire_exchange.hpp)
+  /// for every measured cycle after the measured window, over the real
+  /// radio path. Off by default: enabling it adds tlc.settle.* metrics to
+  /// the snapshot (and so changes result fingerprints), but never perturbs
+  /// the app-traffic cycle outcomes — settlement traffic starts only once
+  /// the workload has stopped.
+  bool wire_settlement = false;
   /// Called once after the testbed is built and configured, before any
   /// traffic flows. The fault layer (src/fault/) uses this to attach
   /// injectors without exp/ depending on fault/. Must be deterministic.
@@ -85,6 +93,11 @@ struct ScenarioResult {
   /// run (the gateway's charged volumes, per-cause link drops, scheduler
   /// stats, ...).
   obs::MetricsSnapshot metrics;
+  /// One entry per wire-settled cycle (empty unless wire_settlement).
+  std::vector<SettlementOutcome> settlements;
+  /// The last ≤64 trace-ring events of the run, rendered as JSONL — the
+  /// causal tail a chaos report embeds when an invariant trips.
+  std::vector<std::string> trace_tail;
 
   /// ∆ normalised to MB per hour, as the paper reports gaps.
   [[nodiscard]] double to_mb_per_hr(double gap_bytes) const;

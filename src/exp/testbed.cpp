@@ -58,10 +58,23 @@ Testbed::Testbed(TestbedConfig config)
 
   const auto wire_cell = [this](epc::BaseStation& cell) {
     cell.set_uplink_sink([this](const net::Packet& p, TimePoint at) {
+      if (p.flow == net::kControlFlow) {
+        // Zero-rated settlement signaling: delivered over the air (so it
+        // sits in net.ul.delivered_bytes) but never charged — tallied here
+        // so the uplink charging-gap identity stays exact.
+        obs_.metrics.counter("tlc.settle.ul_delivered_bytes")
+            .inc(p.size.count());
+        if (control_ul_handler_) control_ul_handler_(p, at);
+        return;
+      }
       note_truth(charging::Direction::kUplink, /*sent=*/false, p.size, at);
       gateway_.on_uplink_from_enb(p, at);
     });
     cell.set_downlink_sink([this](const net::Packet& p, TimePoint at) {
+      if (p.flow == net::kControlFlow) {
+        if (control_dl_handler_) control_dl_handler_(p, at);
+        return;
+      }
       note_truth(charging::Direction::kDownlink, /*sent=*/false, p.size, at);
     });
     cell.set_session_callback([this, &cell](bool attached, TimePoint) {
@@ -154,6 +167,30 @@ void Testbed::app_send_downlink(net::Packet packet) {
   server_.note_sent(packet, now);
   note_truth(charging::Direction::kDownlink, /*sent=*/true, packet.size, now);
   backhaul_down_.enqueue(std::move(packet));
+}
+
+void Testbed::control_send_uplink(net::Packet packet) {
+  // Bypasses app/ground-truth accounting on purpose: settlement signaling
+  // is not application traffic. It still rides the real modem queue and
+  // radio, so its delivery is subject to every §3.1 loss cause.
+  if (handover_) {
+    handover_->route_uplink(std::move(packet));
+  } else {
+    bs_.send_uplink(std::move(packet));
+  }
+}
+
+void Testbed::control_send_downlink(net::Packet packet) {
+  // Injected behind the gateway's charge point (the operator originates it
+  // in its own core) and past the SLA middlebox, straight onto the eNB
+  // downlink. Every injected byte lands in net.dl.{delivered,drop.*} but
+  // is never charged; this counter balances the downlink gap identity.
+  obs_.metrics.counter("tlc.settle.dl_sent_bytes").inc(packet.size.count());
+  if (handover_) {
+    handover_->route_downlink(std::move(packet));
+  } else {
+    bs_.send_downlink(std::move(packet));
+  }
 }
 
 void Testbed::schedule_cycle_end_checks(TimePoint until) {

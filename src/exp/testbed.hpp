@@ -10,6 +10,7 @@
 //              [eNB queue + radio] → device
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 
@@ -63,6 +64,26 @@ class Testbed {
   void app_send_uplink(net::Packet packet);
   /// Server-side application sends a downlink packet.
   void app_send_downlink(net::Packet packet);
+
+  /// Control-plane injection for the wire settlement exchange
+  /// (exp/wire_exchange.hpp). Packets must carry net::kControlFlow; they
+  /// ride the real radio path but are zero-rated — excluded from ground
+  /// truth, app/modem counters, and the gateway's charging — and their
+  /// link-level volume is tallied in tlc.settle.dl_sent_bytes /
+  /// tlc.settle.ul_delivered_bytes so the charging-gap identities stay
+  /// exact (fault/invariants.cpp).
+  void control_send_uplink(net::Packet packet);    // device → core
+  void control_send_downlink(net::Packet packet);  // core → device
+  using ControlHandler =
+      std::function<void(const net::Packet&, TimePoint)>;
+  /// Delivery callbacks for control packets: downlink packets arriving at
+  /// the device, uplink packets arriving at the core.
+  void set_control_downlink_handler(ControlHandler handler) {
+    control_dl_handler_ = std::move(handler);
+  }
+  void set_control_uplink_handler(ControlHandler handler) {
+    control_ul_handler_ = std::move(handler);
+  }
 
   /// Runs the simulation to `until`, scheduling the operator's cycle-end
   /// counter checks along the way.
@@ -137,6 +158,9 @@ class Testbed {
     Bytes sent;
     Bytes received;
   };
+  ControlHandler control_dl_handler_;
+  ControlHandler control_ul_handler_;
+
   std::map<std::uint64_t, TruthCell> truth_ul_;
   std::map<std::uint64_t, TruthCell> truth_dl_;
   std::map<std::uint64_t, Duration> disconnected_;

@@ -72,7 +72,19 @@ std::string ChaosReport::to_json() const {
       out += o.attacks[j].rejected ? "true" : "false";
       out += "}";
     }
-    out += "]}";
+    out += "]";
+    if (!o.metrics_json.empty()) {
+      out += ",\"metrics\":" + o.metrics_json;
+    }
+    if (!o.trace_tail.empty()) {
+      out += ",\"trace_tail\":[";
+      for (std::size_t j = 0; j < o.trace_tail.size(); ++j) {
+        if (j != 0) out += ",";
+        out += o.trace_tail[j];  // already one JSON object per line
+      }
+      out += "]";
+    }
+    out += "}";
   }
   out += outcomes.empty() ? "]\n" : "\n  ]\n";
   out += "}\n";
@@ -124,6 +136,13 @@ ChaosReport run_chaos(const ChaosOptions& options) {
       Rng arng{exp::splitmix64(plan.seed ^ 0x77697265ULL)};  // "wire"
       outcome.attacks = run_wire_attacks(ctx, arng);
       check_attack_outcomes(plan, outcome.attacks, violations_by_plan[i]);
+    }
+    if (!violations_by_plan[i].empty()) {
+      // Keep the evidence: the violating run's metrics and causal trace
+      // tail ride along in the report. Passing plans carry neither, so a
+      // healthy sweep's report bytes are unchanged.
+      outcome.metrics_json = result.metrics.to_json();
+      outcome.trace_tail = result.trace_tail;
     }
     report.outcomes[i] = std::move(outcome);
   });

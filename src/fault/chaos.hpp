@@ -30,6 +30,12 @@ struct PlanOutcome {
   std::vector<AttackOutcome> attacks;
   /// SHA-256 of the scenario's canonical result fingerprint.
   std::string result_digest;
+  /// Forensics, populated ONLY when this plan violated an invariant, so a
+  /// passing sweep's report stays byte-identical: the run's full metrics
+  /// snapshot (JSON) and the last trace-ring events (JSONL lines) — the
+  /// causal tail containing the offending exchange's spans.
+  std::string metrics_json;
+  std::vector<std::string> trace_tail;
 };
 
 struct ChaosReport {

@@ -4,7 +4,9 @@
 #include <string>
 
 #include "exp/sweep.hpp"
+#include "exp/wire_exchange.hpp"
 #include "net/packet.hpp"
+#include "obs/span.hpp"
 #include "tlc/negotiation.hpp"
 #include "tlc/strategy.hpp"
 
@@ -39,16 +41,22 @@ core::StrategyPtr make_style(ClaimStyle style, core::PartyRole role,
 }
 
 void add(std::vector<Violation>& out, std::uint64_t plan_id,
-         const char* invariant, std::string detail) {
-  out.push_back(Violation{plan_id, invariant, std::move(detail)});
+         const char* invariant, std::string detail, std::string trace = {}) {
+  out.push_back(
+      Violation{plan_id, invariant, std::move(detail), std::move(trace)});
 }
 
-void check_cycle(const FaultPlan& plan, const exp::CycleOutcome& c,
-                 std::vector<Violation>& out) {
+void check_cycle(const FaultPlan& plan, std::uint64_t run_seed,
+                 const exp::CycleOutcome& c, std::vector<Violation>& out) {
   const core::CrossCheckTolerance tol;
   const Bytes slack_op = tol.slack_for(c.op_view.received_estimate);
   const Bytes slack_edge = tol.slack_for(c.edge_view.sent_estimate);
   const std::string where = "cycle " + std::to_string(c.cycle);
+  // The exchange every per-cycle violation blames: derived from the run's
+  // identity rather than recorded, so it equals the trace id tagging this
+  // cycle's settlement spans in a JSONL trace of the same run.
+  const std::string trace = obs::span_hex(exp::exchange_trace_id(
+      run_seed, exp::WireSettlementConfig{}.device, c.cycle, c.direction));
 
   // T4: rational vs rational converges immediately (fault magnitudes are
   // bounded so honest views stay within the cross-check tolerance).
@@ -56,7 +64,8 @@ void check_cycle(const FaultPlan& plan, const exp::CycleOutcome& c,
     add(out, plan.id, "t4-rounds",
         where + ": optimal negotiation converged=" +
             (c.optimal.converged ? "true" : "false") +
-            " rounds=" + std::to_string(c.optimal.rounds));
+            " rounds=" + std::to_string(c.optimal.rounds),
+        trace);
   }
 
   // T2: the converged charge is bounded by the recorded views ± slack.
@@ -66,13 +75,15 @@ void check_cycle(const FaultPlan& plan, const exp::CycleOutcome& c,
           where + ": charged " + bytes_str(c.optimal.charged) +
               " under operator received " +
               bytes_str(c.op_view.received_estimate) + " - slack " +
-              bytes_str(slack_op));
+              bytes_str(slack_op),
+          trace);
     }
     if (c.optimal.charged > c.edge_view.sent_estimate + slack_edge) {
       add(out, plan.id, "t2-bound",
           where + ": charged " + bytes_str(c.optimal.charged) +
               " over edge sent " + bytes_str(c.edge_view.sent_estimate) +
-              " + slack " + bytes_str(slack_edge));
+              " + slack " + bytes_str(slack_edge),
+          trace);
     }
     const Bytes lo = std::min(c.optimal.edge_claim, c.optimal.operator_claim);
     const Bytes hi = std::max(c.optimal.edge_claim, c.optimal.operator_claim);
@@ -80,7 +91,8 @@ void check_cycle(const FaultPlan& plan, const exp::CycleOutcome& c,
       add(out, plan.id, "t2-claim-window",
           where + ": charged " + bytes_str(c.optimal.charged) +
               " outside final claims [" + bytes_str(lo) + ", " +
-              bytes_str(hi) + "]");
+              bytes_str(hi) + "]",
+          trace);
     }
   }
 
@@ -88,7 +100,8 @@ void check_cycle(const FaultPlan& plan, const exp::CycleOutcome& c,
   if (!c.random.converged) {
     add(out, plan.id, "random-convergence",
         where + ": TLC-random did not converge (rounds=" +
-            std::to_string(c.random.rounds) + ")");
+            std::to_string(c.random.rounds) + ")",
+        trace);
   }
 
   // Adversarial probe: negotiate the same real views with the plan's claim
@@ -112,7 +125,8 @@ void check_cycle(const FaultPlan& plan, const exp::CycleOutcome& c,
               " edge pushed charge to " + bytes_str(adv.charged) +
               " below operator received " +
               bytes_str(c.op_view.received_estimate) + " - slack " +
-              bytes_str(slack_op));
+              bytes_str(slack_op),
+          trace);
     }
     if (plan.exchange.edge == ClaimStyle::kOptimal &&
         adv.charged > c.edge_view.sent_estimate + slack_edge) {
@@ -120,7 +134,8 @@ void check_cycle(const FaultPlan& plan, const exp::CycleOutcome& c,
           where + ": " + std::string{to_string(plan.exchange.op)} +
               " operator pushed charge to " + bytes_str(adv.charged) +
               " above edge sent " + bytes_str(c.edge_view.sent_estimate) +
-              " + slack " + bytes_str(slack_edge));
+              " + slack " + bytes_str(slack_edge),
+          trace);
     }
   }
 }
@@ -135,6 +150,9 @@ void check_gap_identity(const FaultPlan& plan,
   const std::uint64_t charged_dl = m.counter_or_zero("epc.gw.charged_dl_bytes");
   const std::uint64_t stalled_dl =
       m.counter_or_zero("epc.gw.fault.stalled_dl_bytes");
+  // Zero-rated settlement signaling traverses the same links uncharged;
+  // its injected (DL) / delivered (UL) volume balances the identities.
+  const std::uint64_t settle_dl = m.counter_or_zero("tlc.settle.dl_sent_bytes");
   const std::uint64_t delivered_dl = m.counter_or_zero("net.dl.delivered_bytes");
   std::uint64_t drops_dl = 0;
   for (std::size_t i = 1; i < net::kDropCauseCount; ++i) {
@@ -142,10 +160,11 @@ void check_gap_identity(const FaultPlan& plan,
         std::string{"net.dl.drop."} +
         net::to_string(static_cast<net::DropCause>(i)) + "_bytes");
   }
-  if (charged_dl + stalled_dl != delivered_dl + drops_dl) {
+  if (charged_dl + stalled_dl + settle_dl != delivered_dl + drops_dl) {
     add(out, plan.id, "gap-identity-dl",
         "charged " + std::to_string(charged_dl) + " + stalled " +
-            std::to_string(stalled_dl) + " != delivered " +
+            std::to_string(stalled_dl) + " + settle " +
+            std::to_string(settle_dl) + " != delivered " +
             std::to_string(delivered_dl) + " + drops " +
             std::to_string(drops_dl));
   }
@@ -156,27 +175,33 @@ void check_gap_identity(const FaultPlan& plan,
   const std::uint64_t stalled_ul =
       m.counter_or_zero("epc.gw.fault.stalled_ul_bytes");
   const std::uint64_t delivered_ul = m.counter_or_zero("net.ul.delivered_bytes");
-  if (delivered_ul != charged_ul + stalled_ul) {
+  const std::uint64_t settle_ul =
+      m.counter_or_zero("tlc.settle.ul_delivered_bytes");
+  if (delivered_ul != charged_ul + stalled_ul + settle_ul) {
     add(out, plan.id, "gap-identity-ul",
         "delivered " + std::to_string(delivered_ul) + " != charged " +
             std::to_string(charged_ul) + " + stalled " +
-            std::to_string(stalled_ul));
+            std::to_string(stalled_ul) + " + settle " +
+            std::to_string(settle_ul));
   }
 }
 
 }  // namespace
 
 std::string Violation::to_json() const {
-  return "{\"plan\":" + std::to_string(plan_id) + ",\"invariant\":\"" +
-         json_escape(invariant) + "\",\"detail\":\"" + json_escape(detail) +
-         "\"}";
+  std::string out = "{\"plan\":" + std::to_string(plan_id) +
+                    ",\"invariant\":\"" + json_escape(invariant) +
+                    "\",\"detail\":\"" + json_escape(detail) + "\"";
+  if (!trace.empty()) out += ",\"trace\":\"" + json_escape(trace) + "\"";
+  out += "}";
+  return out;
 }
 
 void check_scenario_invariants(const FaultPlan& plan,
                                const exp::ScenarioResult& result,
                                std::vector<Violation>& out) {
   for (const exp::CycleOutcome& c : result.cycles) {
-    check_cycle(plan, c, out);
+    check_cycle(plan, result.config.seed, c, out);
   }
   check_gap_identity(plan, result.metrics, out);
 }

@@ -34,6 +34,12 @@ struct Violation {
   std::uint64_t plan_id = 0;
   std::string invariant;  // "t2-bound", "t4-rounds", "gap-identity-dl", ...
   std::string detail;
+  /// Blame attribution: the 16-hex causal trace id of the offending
+  /// exchange (exp::exchange_trace_id of the run's seed/device/cycle/
+  /// direction), recomputable without the trace and greppable in a JSONL
+  /// trace of the same run. Empty for whole-run invariants (the gap
+  /// identities), which no single exchange owns.
+  std::string trace;
 
   [[nodiscard]] std::string to_json() const;
 };

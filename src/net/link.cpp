@@ -9,6 +9,19 @@ namespace {
 /// Cadence for re-probing a stalled head-of-line packet during an outage.
 constexpr Duration kStallProbe = std::chrono::milliseconds{10};
 
+/// Span-ID salts distinguishing a packet's per-hop span kinds.
+constexpr std::uint64_t kQueueSpanSalt = 1;
+constexpr std::uint64_t kTransitSpanSalt = 2;
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 }  // namespace
 
 CellLink::CellLink(sim::Scheduler& sched, Config config, RadioModel* radio,
@@ -48,8 +61,11 @@ void CellLink::set_observability(obs::Obs* obs, std::string prefix) {
     m_queued_bytes_ = nullptr;
     m_fault_dup_packets_ = nullptr;
     m_fault_dup_bytes_ = nullptr;
+    m_queue_wait_ = nullptr;
+    comp_salt_ = 0;
     return;
   }
+  comp_salt_ = fnv1a(component_);
   m_delivered_packets_ =
       &obs_->metrics.counter(component_ + ".delivered_packets");
   m_delivered_bytes_ = &obs_->metrics.counter(component_ + ".delivered_bytes");
@@ -66,6 +82,29 @@ void CellLink::set_observability(obs::Obs* obs, std::string prefix) {
       &obs_->metrics.counter(component_ + ".fault.duplicated_packets");
   m_fault_dup_bytes_ =
       &obs_->metrics.counter(component_ + ".fault.duplicated_bytes");
+  m_queue_wait_ = &obs_->metrics.log_histogram(component_ + ".queue_wait_ns");
+}
+
+void CellLink::emit_packet_span(const Packet& packet, std::string_view name,
+                                std::uint64_t salt, TimePoint begin,
+                                TimePoint end,
+                                std::vector<obs::TraceField> end_fields) {
+#if TLC_TRACE_ENABLED
+  if (obs_ == nullptr || packet.trace_id == 0) return;
+  const obs::SpanContext parent{packet.trace_id, packet.span_id};
+  const std::uint64_t span_id = obs::derive_span_id(
+      packet.trace_id, packet.id ^ comp_salt_, salt);
+  const obs::SpanContext span = obs_->spans.child_with_id_at(
+      begin, component_, name, parent, span_id);
+  obs_->spans.end_at(end, component_, span, std::move(end_fields));
+#else
+  static_cast<void>(packet);
+  static_cast<void>(name);
+  static_cast<void>(salt);
+  static_cast<void>(begin);
+  static_cast<void>(end);
+  static_cast<void>(end_fields);
+#endif
 }
 
 void CellLink::note_queue_gauges() {
@@ -127,6 +166,8 @@ void CellLink::service_head() {
   // Age out packets that waited through too long an outage.
   if (now - head->enqueued > config_.max_buffer_wait) {
     auto entry = queue_.pop();
+    emit_packet_span(entry->packet, "queue", kQueueSpanSalt, entry->enqueued,
+                     now, {obs::field("outcome", "buffer-timeout")});
     report_drop(entry->packet, DropCause::kBufferTimeout);
     note_queue_gauges();
     schedule_service(Duration::zero());
@@ -140,14 +181,21 @@ void CellLink::service_head() {
   }
 
   auto entry = queue_.pop();
+  if (m_queue_wait_ != nullptr) {
+    m_queue_wait_->observe_duration(now - entry->enqueued);
+  }
+  emit_packet_span(entry->packet, "queue", kQueueSpanSalt, entry->enqueued,
+                   now, {});
   const Duration tx_time =
       residual_capacity(entry->packet.qci).transmission_time(entry->packet.size);
-  sched_.schedule_after(tx_time, [this, e = std::move(*entry)]() mutable {
-    complete_transmission(std::move(e));
-  });
+  sched_.schedule_after(
+      tx_time, [this, e = std::move(*entry), started = now]() mutable {
+        complete_transmission(std::move(e), started);
+      });
 }
 
-void CellLink::complete_transmission(QciQueue::Entry entry) {
+void CellLink::complete_transmission(QciQueue::Entry entry,
+                                     TimePoint started) {
   const TimePoint now = sched_.now();
   bool lost = false;
   DropCause cause = DropCause::kNone;
@@ -179,6 +227,8 @@ void CellLink::complete_transmission(QciQueue::Entry entry) {
   }
 
   if (lost) {
+    emit_packet_span(entry.packet, "transit", kTransitSpanSalt, started, now,
+                     {obs::field("outcome", to_string(cause))});
     report_drop(entry.packet, cause);
   } else {
     ++stats_.delivered_packets;
@@ -192,6 +242,8 @@ void CellLink::complete_transmission(QciQueue::Entry entry) {
                     obs::field("flow", entry.packet.flow),
                     obs::field("qci", static_cast<int>(entry.packet.qci)));
     const TimePoint arrival = now + config_.propagation_delay + fault.delay;
+    emit_packet_span(entry.packet, "transit", kTransitSpanSalt, started,
+                     arrival, {obs::field("bytes", entry.packet.size)});
     sched_.schedule_at(arrival, [this, p = entry.packet, arrival] {
       deliver_(p, arrival);
     });
@@ -235,11 +287,21 @@ void CellLink::report_drop(const Packet& packet, DropCause cause) {
     m_drop_packets_[cause_index]->inc();
     m_drop_bytes_[cause_index]->inc(packet.size.count());
   }
-  TLC_TRACE_EVENT(obs_, component_, "drop", obs::TraceLevel::kInfo,
-                  obs::field("cause", to_string(cause)),
-                  obs::field("bytes", packet.size),
-                  obs::field("flow", packet.flow),
-                  obs::field("qci", static_cast<int>(packet.qci)));
+  if (packet.trace_id != 0) {
+    const obs::SpanContext ctx{packet.trace_id, packet.span_id};
+    TLC_TRACE_EVENT(obs_, component_, "drop", obs::TraceLevel::kInfo,
+                    obs::trace_field(ctx), obs::span_field(ctx),
+                    obs::field("cause", to_string(cause)),
+                    obs::field("bytes", packet.size),
+                    obs::field("flow", packet.flow),
+                    obs::field("qci", static_cast<int>(packet.qci)));
+  } else {
+    TLC_TRACE_EVENT(obs_, component_, "drop", obs::TraceLevel::kInfo,
+                    obs::field("cause", to_string(cause)),
+                    obs::field("bytes", packet.size),
+                    obs::field("flow", packet.flow),
+                    obs::field("qci", static_cast<int>(packet.qci)));
+  }
   if (drop_) drop_(packet, cause, sched_.now());
 }
 
@@ -259,11 +321,24 @@ void WiredLink::enqueue(Packet packet) {
     m_delivered_packets_->inc();
     m_delivered_bytes_->inc(packet.size.count());
   }
+#if TLC_TRACE_ENABLED
+  if (obs_ != nullptr && packet.trace_id != 0) {
+    const obs::SpanContext parent{packet.trace_id, packet.span_id};
+    const obs::SpanContext span = obs_->spans.child_with_id_at(
+        start, component_, "transit", parent,
+        obs::derive_span_id(packet.trace_id, packet.id ^ comp_salt_, 2));
+    obs_->spans.end_at(arrival, component_, span,
+                       {obs::field("bytes", packet.size)});
+  }
+#endif
   sched_.schedule_at(arrival,
                      [this, p = std::move(packet), arrival] { deliver_(p, arrival); });
 }
 
 void WiredLink::set_observability(obs::Obs* obs, std::string_view prefix) {
+  obs_ = obs;
+  component_ = std::string{prefix};
+  comp_salt_ = component_.empty() ? 0 : fnv1a(component_);
   if (obs == nullptr) {
     m_delivered_packets_ = nullptr;
     m_delivered_bytes_ = nullptr;

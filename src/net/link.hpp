@@ -97,9 +97,12 @@ class CellLink {
 
   /// Attach a metrics/trace domain under `prefix` (e.g. "net.dl"):
   /// counters <prefix>.delivered_{packets,bytes}, per-cause
-  /// <prefix>.drop.<cause>_{packets,bytes}, gauge <prefix>.queue_depth;
-  /// trace component <prefix> ("drop" at info, "deliver" at debug). Links
-  /// of parallel cells may share a prefix — their counters aggregate.
+  /// <prefix>.drop.<cause>_{packets,bytes}, gauge <prefix>.queue_depth,
+  /// log histogram <prefix>.queue_wait_ns; trace component <prefix>
+  /// ("drop" at info, "deliver" at debug). Traced packets (trace_id != 0)
+  /// additionally get "queue" and "transit" spans with deterministic
+  /// derived span IDs. Links of parallel cells may share a prefix — their
+  /// counters aggregate.
   void set_observability(obs::Obs* obs, std::string prefix);
 
   /// Attach (or detach with nullptr) a fault-injection hook consulted for
@@ -120,9 +123,14 @@ class CellLink {
   /// drops arms one probe, not one per packet.
   void schedule_service(Duration delay);
   void service_head();
-  void complete_transmission(QciQueue::Entry entry);
+  void complete_transmission(QciQueue::Entry entry, TimePoint started);
   void report_drop(const Packet& packet, DropCause cause);
   void note_queue_gauges();
+  /// Emits a completed [begin, end] span for a traced packet's queue
+  /// residency or link transit, with a derived (stateless) span ID.
+  void emit_packet_span(const Packet& packet, std::string_view name,
+                        std::uint64_t salt, TimePoint begin, TimePoint end,
+                        std::vector<obs::TraceField> end_fields);
 
   sim::Scheduler& sched_;
   Config config_;
@@ -148,6 +156,10 @@ class CellLink {
   obs::Gauge* m_queued_bytes_ = nullptr;
   obs::Counter* m_fault_dup_packets_ = nullptr;
   obs::Counter* m_fault_dup_bytes_ = nullptr;
+  obs::LogHistogram* m_queue_wait_ = nullptr;
+  /// FNV-1a of the component prefix: salts derived span IDs so a packet
+  /// crossing several instrumented links gets distinct spans per hop.
+  std::uint64_t comp_salt_ = 0;
 };
 
 class WiredLink {
@@ -172,6 +184,9 @@ class WiredLink {
   CellLink::DeliverFn deliver_;
   TimePoint pipe_free_at_ = kTimeZero;
   LinkStats stats_;
+  obs::Obs* obs_ = nullptr;
+  std::string component_;
+  std::uint64_t comp_salt_ = 0;
   obs::Counter* m_delivered_packets_ = nullptr;
   obs::Counter* m_delivered_bytes_ = nullptr;
 };

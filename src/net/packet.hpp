@@ -12,6 +12,12 @@ namespace tlc::net {
 
 using FlowId = std::uint32_t;
 
+/// Reserved flow id for TLC control-plane traffic (the wire settlement
+/// exchange). Control packets are zero-rated: the charging path skips them
+/// and they are excluded from both parties' application accounting — the
+/// settlement must not bill its own signaling.
+inline constexpr FlowId kControlFlow = 0xFFFF'FFFFu;
+
 /// Why a packet left the network without being delivered. Mirrors the
 /// loss taxonomy of §3.1.
 enum class DropCause : std::uint8_t {
@@ -68,6 +74,11 @@ struct Packet {
   std::uint64_t app_seq = 0;
   /// True for retransmitted copies (transport-layer gap cause, §3.1).
   bool is_retransmission = false;
+  /// Causal-trace context (obs span layer): the exchange this packet
+  /// belongs to and the span it was sent under. 0 = untraced data traffic
+  /// — links skip all span work for it.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
 };
 
 }  // namespace tlc::net

@@ -1,0 +1,65 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tlc::obs {
+
+void append_json_string(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (const char c : s) {
+    const auto byte = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      default:
+        if (byte < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", byte);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string json_string(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  append_json_string(&out, s);
+  return out;
+}
+
+std::string format_json_double(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace tlc::obs

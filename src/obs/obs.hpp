@@ -7,6 +7,7 @@
 #pragma once
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace tlc::obs {
@@ -14,6 +15,7 @@ namespace tlc::obs {
 struct Obs {
   MetricsRegistry metrics;
   TraceSink trace;
+  Tracer spans{&trace};
 };
 
 }  // namespace tlc::obs

@@ -1,0 +1,164 @@
+#include "obs/span.hpp"
+
+namespace tlc::obs {
+namespace {
+
+/// Domain-separation constants so the three derivation paths can never
+/// collide even on equal inputs.
+constexpr std::uint64_t kTraceDomain = 0x746c635f74726163ULL;  // "tlc_trac"
+constexpr std::uint64_t kSpanDomain = 0x746c635f7370616eULL;   // "tlc_span"
+constexpr std::uint64_t kAllocDomain = 0x746c635f616c6c6fULL;  // "tlc_allo"
+
+std::uint64_t never_zero(std::uint64_t id) { return id == 0 ? 1 : id; }
+
+}  // namespace
+
+std::uint64_t derive_trace_id(std::uint64_t seed, std::uint64_t device,
+                              std::uint64_t cycle, std::uint64_t direction) {
+  std::uint64_t h = mix64(kTraceDomain ^ seed);
+  h = mix64(h ^ device);
+  h = mix64(h ^ cycle);
+  h = mix64(h ^ direction);
+  return never_zero(h);
+}
+
+std::uint64_t derive_span_id(std::uint64_t trace_id, std::uint64_t salt_a,
+                             std::uint64_t salt_b) {
+  std::uint64_t h = mix64(kSpanDomain ^ trace_id);
+  h = mix64(h ^ salt_a);
+  h = mix64(h ^ salt_b);
+  return never_zero(h);
+}
+
+std::string span_hex(std::uint64_t id) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[id & 0xf];
+    id >>= 4;
+  }
+  return out;
+}
+
+TraceField trace_field(const SpanContext& ctx) {
+  return field("trace", span_hex(ctx.trace_id));
+}
+
+TraceField span_field(const SpanContext& ctx) {
+  return field("span", span_hex(ctx.span_id));
+}
+
+SpanContext Tracer::begin(bool use_clock, TimePoint t,
+                          std::string_view component, std::string_view name,
+                          std::uint64_t trace_id, std::uint64_t parent_span,
+                          std::uint64_t span_id,
+                          std::vector<TraceField> fields) {
+  if (sink_ == nullptr || trace_id == 0) return {};
+  const SpanContext ctx{trace_id, span_id};
+  if (sink_->enabled(component, TraceLevel::kInfo)) {
+    std::vector<TraceField> all;
+    all.reserve(fields.size() + 4);
+    all.push_back(trace_field(ctx));
+    all.push_back(span_field(ctx));
+    if (parent_span != 0) {
+      all.push_back(field("parent", span_hex(parent_span)));
+    }
+    all.push_back(field("name", name));
+    for (TraceField& f : fields) all.push_back(std::move(f));
+    if (use_clock) {
+      sink_->emit(component, "span_begin", std::move(all));
+    } else {
+      sink_->emit_at(t, component, "span_begin", std::move(all));
+    }
+  }
+  return ctx;
+}
+
+SpanContext Tracer::root(std::string_view component, std::string_view name,
+                         std::uint64_t trace_id,
+                         std::vector<TraceField> fields) {
+  return begin(/*use_clock=*/true, kTimeZero, component, name, trace_id,
+               /*parent_span=*/0,
+               never_zero(mix64(kAllocDomain ^ trace_id ^ ++next_)),
+               std::move(fields));
+}
+
+SpanContext Tracer::root_at(TimePoint t, std::string_view component,
+                            std::string_view name, std::uint64_t trace_id,
+                            std::vector<TraceField> fields) {
+  return begin(/*use_clock=*/false, t, component, name, trace_id,
+               /*parent_span=*/0,
+               never_zero(mix64(kAllocDomain ^ trace_id ^ ++next_)),
+               std::move(fields));
+}
+
+SpanContext Tracer::child(std::string_view component, std::string_view name,
+                          const SpanContext& parent,
+                          std::vector<TraceField> fields) {
+  if (!parent.valid()) return {};
+  return begin(/*use_clock=*/true, kTimeZero, component, name,
+               parent.trace_id, parent.span_id,
+               never_zero(mix64(kAllocDomain ^ parent.trace_id ^ ++next_)),
+               std::move(fields));
+}
+
+SpanContext Tracer::child_at(TimePoint t, std::string_view component,
+                             std::string_view name, const SpanContext& parent,
+                             std::vector<TraceField> fields) {
+  if (!parent.valid()) return {};
+  return begin(/*use_clock=*/false, t, component, name, parent.trace_id,
+               parent.span_id,
+               never_zero(mix64(kAllocDomain ^ parent.trace_id ^ ++next_)),
+               std::move(fields));
+}
+
+SpanContext Tracer::child_with_id(std::string_view component,
+                                  std::string_view name,
+                                  const SpanContext& parent,
+                                  std::uint64_t span_id,
+                                  std::vector<TraceField> fields) {
+  if (!parent.valid()) return {};
+  return begin(/*use_clock=*/true, kTimeZero, component, name,
+               parent.trace_id, parent.span_id, never_zero(span_id),
+               std::move(fields));
+}
+
+SpanContext Tracer::child_with_id_at(TimePoint t, std::string_view component,
+                                     std::string_view name,
+                                     const SpanContext& parent,
+                                     std::uint64_t span_id,
+                                     std::vector<TraceField> fields) {
+  if (!parent.valid()) return {};
+  return begin(/*use_clock=*/false, t, component, name, parent.trace_id,
+               parent.span_id, never_zero(span_id), std::move(fields));
+}
+
+void Tracer::end(std::string_view component, const SpanContext& span,
+                 std::vector<TraceField> fields) {
+  end_common(/*use_clock=*/true, kTimeZero, component, span,
+             std::move(fields));
+}
+
+void Tracer::end_at(TimePoint t, std::string_view component,
+                    const SpanContext& span, std::vector<TraceField> fields) {
+  end_common(/*use_clock=*/false, t, component, span, std::move(fields));
+}
+
+void Tracer::end_common(bool use_clock, TimePoint t,
+                        std::string_view component, const SpanContext& span,
+                        std::vector<TraceField> fields) {
+  if (sink_ == nullptr || !span.valid()) return;
+  if (!sink_->enabled(component, TraceLevel::kInfo)) return;
+  std::vector<TraceField> all;
+  all.reserve(fields.size() + 2);
+  all.push_back(trace_field(span));
+  all.push_back(span_field(span));
+  for (TraceField& f : fields) all.push_back(std::move(f));
+  if (use_clock) {
+    sink_->emit(component, "span_end", std::move(all));
+  } else {
+    sink_->emit_at(t, component, "span_end", std::move(all));
+  }
+}
+
+}  // namespace tlc::obs

@@ -1,0 +1,189 @@
+// Causal spans over the trace sink: deterministic trace IDs, parent-child
+// span events, and the macros that compile them out under TLC_TRACE=OFF.
+//
+// A *trace* is one charging exchange end-to-end (UE→BS→gateway→BS→UE); a
+// *span* is one timed segment of it (a protocol round, a queue residency, a
+// radio transit, a signature computation). Spans are not objects held by
+// the instrumented code — they are a pair of events ("span_begin" /
+// "span_end") in the ordinary trace stream, carrying `trace`, `span`, and
+// `parent` IDs as 16-char lowercase hex. tools/tlc_trace re-assembles the
+// tree from those events.
+//
+// Determinism: trace IDs are *derived*, never drawn from randomness —
+// `derive_trace_id(seed, device, cycle, direction)` is a pure splitmix64
+// mix, so the ID of the exchange that violated an invariant can be
+// computed after the fact (blame attribution) without re-running anything.
+// Span IDs are either derived the same way (stateless call sites that
+// must agree across enqueue/dequeue) or allocated from a per-Tracer
+// sequence mixed with the trace ID; both are functions of simulation
+// state only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+#include "obs/trace.hpp"
+
+namespace tlc::obs {
+
+/// splitmix64 finalizer: the avalanche mix behind every derived ID.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// The (trace, span) pair a component carries while inside a span. An
+/// all-zero context means "untraced" and makes every span call a no-op.
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  [[nodiscard]] constexpr bool valid() const { return trace_id != 0; }
+};
+
+/// Deterministic trace ID for one charging exchange. Never returns 0.
+/// `direction` disambiguates UL/DL settlements of the same (device, cycle).
+[[nodiscard]] std::uint64_t derive_trace_id(std::uint64_t seed,
+                                            std::uint64_t device,
+                                            std::uint64_t cycle,
+                                            std::uint64_t direction);
+
+/// Deterministic span ID inside `trace_id`, for call sites that cannot
+/// carry allocator state between begin and end (e.g. a packet's queue
+/// residency: enqueue derives the same ID dequeue does). Never returns 0.
+[[nodiscard]] std::uint64_t derive_span_id(std::uint64_t trace_id,
+                                           std::uint64_t salt_a,
+                                           std::uint64_t salt_b);
+
+/// 16-char lowercase hex, the canonical rendering of trace/span IDs.
+[[nodiscard]] std::string span_hex(std::uint64_t id);
+
+/// A "trace"/"span" (and optionally "parent") field triple for tagging an
+/// ordinary TLC_TRACE_EVENT with the span it belongs to.
+[[nodiscard]] TraceField trace_field(const SpanContext& ctx);
+[[nodiscard]] TraceField span_field(const SpanContext& ctx);
+
+/// Emits span_begin / span_end events into a TraceSink. Owned by Obs as
+/// `spans`, next to the sink it writes through; all methods are no-ops on
+/// an invalid parent context or a null sink, so untraced packets cost one
+/// branch.
+class Tracer {
+ public:
+  Tracer() = default;
+  explicit Tracer(TraceSink* sink) : sink_(sink) {}
+
+  /// Opens the root span of a new trace. `trace_id` comes from
+  /// derive_trace_id; the root's parent is 0.
+  SpanContext root(std::string_view component, std::string_view name,
+                   std::uint64_t trace_id,
+                   std::vector<TraceField> fields = {});
+  SpanContext root_at(TimePoint t, std::string_view component,
+                      std::string_view name, std::uint64_t trace_id,
+                      std::vector<TraceField> fields = {});
+
+  /// Opens a child span under `parent` with a freshly allocated span ID.
+  SpanContext child(std::string_view component, std::string_view name,
+                    const SpanContext& parent,
+                    std::vector<TraceField> fields = {});
+  SpanContext child_at(TimePoint t, std::string_view component,
+                       std::string_view name, const SpanContext& parent,
+                       std::vector<TraceField> fields = {});
+
+  /// Opens a child span whose ID the caller derived (derive_span_id), for
+  /// stateless begin/end pairs split across call sites.
+  SpanContext child_with_id(std::string_view component, std::string_view name,
+                            const SpanContext& parent, std::uint64_t span_id,
+                            std::vector<TraceField> fields = {});
+  SpanContext child_with_id_at(TimePoint t, std::string_view component,
+                               std::string_view name,
+                               const SpanContext& parent,
+                               std::uint64_t span_id,
+                               std::vector<TraceField> fields = {});
+
+  /// Closes `span` (root or child). Extra fields land on the span_end
+  /// event — duration is reconstructed from the two timestamps.
+  void end(std::string_view component, const SpanContext& span,
+           std::vector<TraceField> fields = {});
+  void end_at(TimePoint t, std::string_view component,
+              const SpanContext& span, std::vector<TraceField> fields = {});
+
+  [[nodiscard]] TraceSink* sink() const { return sink_; }
+
+  /// no-op targets for the TLC_TRACE=OFF macro forms: every argument stays
+  /// type-checked and formally used inside an unreachable branch.
+  static SpanContext noop_begin(std::string_view /*component*/,
+                                std::string_view /*name*/,
+                                const SpanContext& /*parent*/,
+                                std::initializer_list<TraceField> /*fields*/) {
+    return {};
+  }
+  static void noop_end(std::string_view /*component*/,
+                       const SpanContext& /*span*/,
+                       std::initializer_list<TraceField> /*fields*/) {}
+
+ private:
+  SpanContext begin(bool use_clock, TimePoint t, std::string_view component,
+                    std::string_view name, std::uint64_t trace_id,
+                    std::uint64_t parent_span, std::uint64_t span_id,
+                    std::vector<TraceField> fields);
+  void end_common(bool use_clock, TimePoint t, std::string_view component,
+                  const SpanContext& span, std::vector<TraceField> fields);
+
+  TraceSink* sink_ = nullptr;
+  std::uint64_t next_ = 0;  // allocator for child()/root() span IDs
+};
+
+}  // namespace tlc::obs
+
+// Span macros, mirroring TLC_TRACE_EVENT: `obs_ptr` is a nullable
+// tlc::obs::Obs*. The *_BEGIN forms are expressions yielding a
+// SpanContext ({} when the obs pointer is null or tracing is compiled
+// out); *_END is a statement. Under TLC_TRACE=OFF everything folds to a
+// constant while keeping the arguments compiled and "used".
+#if TLC_TRACE_ENABLED
+#define TLC_SPAN_ROOT(obs_ptr, component, name, trace_id, ...)             \
+  ([&]() -> ::tlc::obs::SpanContext {                                      \
+    auto* tlc_obs_ = (obs_ptr);                                            \
+    if (tlc_obs_ == nullptr) return {};                                    \
+    return tlc_obs_->spans.root((component), (name), (trace_id),           \
+                                {__VA_ARGS__});                            \
+  }())
+#define TLC_SPAN_CHILD(obs_ptr, component, name, parent, ...)              \
+  ([&]() -> ::tlc::obs::SpanContext {                                      \
+    auto* tlc_obs_ = (obs_ptr);                                            \
+    if (tlc_obs_ == nullptr) return {};                                    \
+    return tlc_obs_->spans.child((component), (name), (parent),            \
+                                 {__VA_ARGS__});                           \
+  }())
+#define TLC_SPAN_END(obs_ptr, component, span, ...)                        \
+  do {                                                                     \
+    auto* tlc_obs_ = (obs_ptr);                                            \
+    if (tlc_obs_ != nullptr) {                                             \
+      tlc_obs_->spans.end((component), (span), {__VA_ARGS__});             \
+    }                                                                      \
+  } while (0)
+#else
+#define TLC_SPAN_ROOT(obs_ptr, component, name, trace_id, ...)             \
+  ((obs_ptr) == nullptr || true                                            \
+       ? ::tlc::obs::SpanContext{}                                         \
+       : ::tlc::obs::Tracer::noop_begin(                                   \
+             (component), (name),                                          \
+             ::tlc::obs::SpanContext{(trace_id), 0}, {__VA_ARGS__}))
+#define TLC_SPAN_CHILD(obs_ptr, component, name, parent, ...)              \
+  ((obs_ptr) == nullptr || true                                            \
+       ? ::tlc::obs::SpanContext{}                                         \
+       : ::tlc::obs::Tracer::noop_begin((component), (name), (parent),     \
+                                        {__VA_ARGS__}))
+#define TLC_SPAN_END(obs_ptr, component, span, ...)                        \
+  do {                                                                     \
+    if (false) {                                                           \
+      static_cast<void>(obs_ptr);                                          \
+      ::tlc::obs::Tracer::noop_end((component), (span), {__VA_ARGS__});    \
+    }                                                                      \
+  } while (0)
+#endif

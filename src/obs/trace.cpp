@@ -1,40 +1,11 @@
 #include "obs/trace.hpp"
 
-#include <cmath>
+#include "obs/json.hpp"
 
 namespace tlc::obs {
 namespace {
 
-void append_json_string(std::string* out, std::string_view s) {
-  out->push_back('"');
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      default:
-        out->push_back(c);
-    }
-  }
-  out->push_back('"');
-}
-
-std::string format_double(double v) {
-  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.0f", v);
-    return buf;
-  }
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
+std::string format_double(double v) { return format_json_double(v); }
 
 }  // namespace
 

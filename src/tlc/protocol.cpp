@@ -76,11 +76,21 @@ void ProtocolParty::transition(ProtocolState to) {
   const ProtocolState from = state_;
   state_ = to;
   if (from == to) return;
-  TLC_TRACE_EVENT(config_.obs, component_, "state", obs::TraceLevel::kInfo,
-                  obs::field("from", to_string(from)),
-                  obs::field("to", to_string(to)),
-                  obs::field("round", round_),
-                  obs::field("error", to_string(error_)));
+  if (config_.exchange.valid()) {
+    TLC_TRACE_EVENT(config_.obs, component_, "state", obs::TraceLevel::kInfo,
+                    obs::trace_field(config_.exchange),
+                    obs::span_field(config_.exchange),
+                    obs::field("from", to_string(from)),
+                    obs::field("to", to_string(to)),
+                    obs::field("round", round_),
+                    obs::field("error", to_string(error_)));
+  } else {
+    TLC_TRACE_EVENT(config_.obs, component_, "state", obs::TraceLevel::kInfo,
+                    obs::field("from", to_string(from)),
+                    obs::field("to", to_string(to)),
+                    obs::field("round", round_),
+                    obs::field("error", to_string(error_)));
+  }
   if (to == ProtocolState::kDone) {
     if (m_exchanges_done_ != nullptr) m_exchanges_done_->inc();
     if (m_rounds_ != nullptr) m_rounds_->observe(static_cast<double>(round_));

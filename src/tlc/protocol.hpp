@@ -61,6 +61,11 @@ class ProtocolParty {
     /// "tlc.<role>" emits one "state" event per state transition
     /// (from/to/round/error) at info.
     obs::Obs* obs = nullptr;
+    /// Causal span of the charging exchange this party participates in
+    /// (obs span layer). When valid, every state event is tagged with the
+    /// exchange's trace/span IDs so tools/tlc_trace can stitch protocol
+    /// transitions into the end-to-end causality chain.
+    obs::SpanContext exchange;
   };
 
   /// `strategy` must outlive the party. Keys are cheap shared handles.

@@ -16,10 +16,20 @@ struct Exchange {
   /// would blow the InlineCallback capture budget, and moving it once is
   /// cheaper than copying it twice anyway.
   Message in_flight;
+  /// Span of the exchange and of the message currently in transit.
+  obs::SpanContext span;
+  obs::SpanContext msg_span;
 
   Duration crypto_for(const ProtocolParty& party) const {
     return &party == &initiator ? config.initiator_crypto
                                 : config.responder_crypto;
+  }
+
+  void observe_crypto(Duration d) {
+    if (config.obs != nullptr) {
+      config.obs->metrics.log_histogram("tlc.exchange.crypto_op_ns")
+          .observe_duration(d);
+    }
   }
 
   /// `sender` produced `msg`; deliver it to the other side after the
@@ -28,13 +38,24 @@ struct Exchange {
     ++result.messages;
     result.crypto_time += crypto_for(sender);
     result.network_time += config.one_way_latency;
+    observe_crypto(crypto_for(sender));
     ProtocolParty& receiver =
         &sender == &initiator ? responder : initiator;
     in_flight = std::move(msg);
+    if (config.obs != nullptr && span.valid()) {
+      msg_span = config.obs->spans.child_at(
+          sched.now(), "tlc.exchange", "msg", span,
+          {obs::field("n", result.messages)});
+    }
     sched.schedule_after(
         crypto_for(sender) + config.one_way_latency, [this, &receiver] {
+          if (config.obs != nullptr && msg_span.valid()) {
+            config.obs->spans.end_at(sched.now(), "tlc.exchange", msg_span);
+            msg_span = {};
+          }
           // Receiver-side verification/decision time.
           result.crypto_time += crypto_for(receiver);
+          observe_crypto(crypto_for(receiver));
           sched.schedule_after(crypto_for(receiver), [this, &receiver] {
             const Message m = std::move(in_flight);
             std::optional<Message> reply = receiver.on_message(m);
@@ -52,7 +73,13 @@ TimedExchangeResult run_timed_exchange(sim::Scheduler& sched,
                                        ProtocolParty& initiator,
                                        ProtocolParty& responder,
                                        const TimedExchangeConfig& config) {
-  Exchange exchange{sched, initiator, responder, config, {}, sched.now(), {}};
+  Exchange exchange{sched,      initiator, responder, config,
+                    {},         sched.now(), {},      {},
+                    {}};
+  if (config.obs != nullptr && config.parent.valid()) {
+    exchange.span = config.obs->spans.child_at(
+        sched.now(), "tlc.exchange", "timed_exchange", config.parent);
+  }
   exchange.dispatch(initiator, initiator.start());
   sched.run();
 
@@ -62,6 +89,24 @@ TimedExchangeResult run_timed_exchange(sim::Scheduler& sched,
   result.elapsed = sched.now() - exchange.started;
   result.rounds = initiator.rounds();
   result.charged = initiator.charged();
+  if (config.obs != nullptr) {
+    obs::MetricsRegistry& m = config.obs->metrics;
+    m.log_histogram("tlc.exchange.duration_ns")
+        .observe_duration(result.elapsed);
+    if (result.rounds > 0) {
+      m.log_histogram("tlc.exchange.round_ns")
+          .observe_duration(result.elapsed / result.rounds);
+    }
+    m.log_histogram("tlc.exchange.msg_transit_ns")
+        .observe_duration(config.one_way_latency);
+  }
+  if (config.obs != nullptr && exchange.span.valid()) {
+    config.obs->spans.end_at(
+        sched.now(), "tlc.exchange", exchange.span,
+        {obs::field("completed", result.completed),
+         obs::field("rounds", result.rounds),
+         obs::field("messages", result.messages)});
+  }
   return result;
 }
 

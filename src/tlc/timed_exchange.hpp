@@ -19,6 +19,12 @@ struct TimedExchangeConfig {
   Duration initiator_crypto = std::chrono::milliseconds{2};
   /// Same for the responder.
   Duration responder_crypto = std::chrono::milliseconds{2};
+  /// Optional observability: when set, the exchange records percentile
+  /// histograms (tlc.exchange.duration_ns / round_ns / crypto_op_ns /
+  /// msg_transit_ns) and, when `parent` is valid, emits a child span per
+  /// exchange plus one per message in transit.
+  obs::Obs* obs = nullptr;
+  obs::SpanContext parent;
 };
 
 struct TimedExchangeResult {

@@ -1,0 +1,37 @@
+#include "wire/frame.hpp"
+
+#include "wire/codec.hpp"
+
+namespace tlc::wire {
+
+ByteVec encode_frame(const FrameHeader& header,
+                     std::span<const std::uint8_t> payload) {
+  Writer w;
+  w.reserve(kFrameOverhead + payload.size());
+  w.u32(kFrameMagic);
+  w.u8(kFrameVersion);
+  w.u8(header.attempt);
+  w.u64(header.trace_id);
+  w.u64(header.span_id);
+  w.bytes(payload);
+  return w.take();
+}
+
+Frame decode_frame(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  if (r.u32() != kFrameMagic) {
+    throw DecodeError{"frame: bad magic"};
+  }
+  if (r.u8() != kFrameVersion) {
+    throw DecodeError{"frame: unknown version"};
+  }
+  Frame f;
+  f.header.attempt = r.u8();
+  f.header.trace_id = r.u64();
+  f.header.span_id = r.u64();
+  f.payload = r.bytes();
+  r.expect_end();
+  return f;
+}
+
+}  // namespace tlc::wire

@@ -1,0 +1,46 @@
+// Transport frame for TLC control-plane messages in transit.
+//
+// Signed protocol messages (CDR/CDA/PoC) must stay byte-identical to what
+// was signed, so per-hop metadata — the causal trace context and the
+// retransmission attempt — cannot live inside them. A Frame wraps the
+// encoded message for the wire: a fixed header carrying trace/span IDs
+// plus the length-prefixed payload. Stripping the frame returns the exact
+// signed bytes.
+//
+//   magic u32 | version u8 | attempt u8 | trace u64 | span u64 | payload
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/hex.hpp"
+
+namespace tlc::wire {
+
+/// Per-hop metadata; never covered by any signature.
+struct FrameHeader {
+  std::uint64_t trace_id = 0;  // 0 = untraced
+  std::uint64_t span_id = 0;
+  std::uint8_t attempt = 0;  // retransmission counter, 0 = first send
+
+  friend bool operator==(const FrameHeader&, const FrameHeader&) = default;
+};
+
+struct Frame {
+  FrameHeader header;
+  ByteVec payload;  // the encoded (signed) protocol message
+};
+
+inline constexpr std::uint32_t kFrameMagic = 0x544C4346;  // "TLCF"
+inline constexpr std::uint8_t kFrameVersion = 1;
+/// Fixed wire overhead a frame adds on top of its payload:
+/// magic + version + attempt + trace + span + payload length prefix.
+inline constexpr std::size_t kFrameOverhead = 4 + 1 + 1 + 8 + 8 + 4;
+
+[[nodiscard]] ByteVec encode_frame(const FrameHeader& header,
+                                   std::span<const std::uint8_t> payload);
+
+/// Throws DecodeError on bad magic, unknown version, or truncation.
+[[nodiscard]] Frame decode_frame(std::span<const std::uint8_t> data);
+
+}  // namespace tlc::wire

@@ -56,6 +56,40 @@ TEST(Chaos, DisablingAttacksChangesOnlyCoverage) {
   EXPECT_TRUE(report.violations.empty());
 }
 
+TEST(Chaos, HealthyPlansCarryNoForensics) {
+  // Metrics snapshots and trace tails ride along ONLY for violating
+  // plans, so a clean sweep's report bytes never depend on the trace
+  // build or ring contents.
+  const ChaosReport report = run_chaos(small(2));
+  ASSERT_TRUE(report.violations.empty());
+  for (const PlanOutcome& o : report.outcomes) {
+    EXPECT_TRUE(o.metrics_json.empty()) << "plan " << o.plan.id;
+    EXPECT_TRUE(o.trace_tail.empty()) << "plan " << o.plan.id;
+  }
+  EXPECT_EQ(report.to_json().find("\"metrics\""), std::string::npos);
+  EXPECT_EQ(report.to_json().find("\"trace_tail\""), std::string::npos);
+}
+
+TEST(Chaos, ViolatingPlanEmbedsForensicsInTheReport) {
+  // Hand-build a report with one violating plan: the JSON must embed its
+  // metrics snapshot and causal trace tail next to the blame trace id.
+  ChaosReport report;
+  PlanOutcome bad;
+  bad.plan = FaultPlan{};
+  bad.result_digest = std::string(64, 'a');
+  bad.metrics_json = "{\"counters\":{\"x\":1}}";
+  bad.trace_tail = {"{\"t_ns\":1,\"seq\":0,\"level\":\"info\","
+                    "\"component\":\"tlc.settle\",\"event\":\"span_begin\"}"};
+  report.outcomes.push_back(bad);
+  report.violations.push_back(
+      Violation{0, "t4-rounds", "cycle 1: rounds=2", "00ff00ff00ff00ff"});
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"metrics\":{\"counters\":{\"x\":1}}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"trace_tail\":[{\"t_ns\":1,"), std::string::npos);
+  EXPECT_NE(json.find("\"trace\":\"00ff00ff00ff00ff\""), std::string::npos);
+}
+
 TEST(Chaos, DifferentSeedsProduceDifferentFleets) {
   ChaosOptions a = small(1);
   ChaosOptions b = small(1);

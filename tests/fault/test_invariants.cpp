@@ -8,7 +8,9 @@
 
 #include <algorithm>
 
+#include "exp/wire_exchange.hpp"
 #include "fault/injector.hpp"
+#include "obs/span.hpp"
 #include "tlc/negotiation.hpp"
 #include "tlc/strategy.hpp"
 
@@ -129,6 +131,40 @@ TEST(Invariants, DetectsUplinkDeliveryChargingMismatch) {
   const auto violations =
       check(FaultPlan{}, make_result(clean_cycle(), m));
   EXPECT_TRUE(has_invariant(violations, "gap-identity-ul"));
+}
+
+TEST(Invariants, ViolationBlamesTheOffendingExchangeTraceId) {
+  // A per-cycle violation must carry the derived causal trace id of that
+  // cycle's exchange — the same id that tags its settlement spans in a
+  // JSONL trace of the run, and recomputable without any trace at all.
+  exp::CycleOutcome c = clean_cycle();
+  c.optimal.rounds = 2;
+  const exp::ScenarioResult result = make_result(c, balanced_metrics());
+  const auto violations = check(FaultPlan{}, result);
+  ASSERT_TRUE(has_invariant(violations, "t4-rounds"));
+  const std::string expected = obs::span_hex(exp::exchange_trace_id(
+      result.config.seed, exp::WireSettlementConfig{}.device, 1,
+      charging::Direction::kUplink));
+  for (const Violation& v : violations) {
+    if (v.invariant != "t4-rounds") continue;
+    EXPECT_EQ(v.trace, expected);
+    EXPECT_NE(v.to_json().find("\"trace\":\"" + expected + "\""),
+              std::string::npos);
+  }
+}
+
+TEST(Invariants, WholeRunViolationsCarryNoExchangeTrace) {
+  // The gap identities aggregate the whole run; no single exchange owns
+  // them, so the blame field stays empty (and out of the JSON).
+  obs::MetricsSnapshot m = balanced_metrics();
+  m.counters["epc.gw.charged_dl_bytes"] += 20'000;
+  const auto violations = check(FaultPlan{}, make_result(clean_cycle(), m));
+  ASSERT_TRUE(has_invariant(violations, "gap-identity-dl"));
+  for (const Violation& v : violations) {
+    if (v.invariant != "gap-identity-dl") continue;
+    EXPECT_TRUE(v.trace.empty());
+    EXPECT_EQ(v.to_json().find("\"trace\""), std::string::npos);
+  }
 }
 
 TEST(Invariants, RejectedAttackOutcomesAreClean) {

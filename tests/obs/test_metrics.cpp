@@ -27,6 +27,20 @@ TEST(Gauge, TracksValueAndHighWatermark) {
   EXPECT_DOUBLE_EQ(g.max(), 12.0);
 }
 
+TEST(Gauge, TracksLowWatermark) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.min(), 0.0);  // untouched gauge reports 0
+  g.set(5.0);
+  EXPECT_DOUBLE_EQ(g.min(), 5.0);  // first set seeds both watermarks
+  EXPECT_DOUBLE_EQ(g.max(), 5.0);
+  g.set(2.0);
+  g.set(9.0);
+  EXPECT_DOUBLE_EQ(g.min(), 2.0);
+  EXPECT_DOUBLE_EQ(g.max(), 9.0);
+  g.add(-8.0);  // value 1.0 → new floor
+  EXPECT_DOUBLE_EQ(g.min(), 1.0);
+}
+
 TEST(Histogram, BucketsByInclusiveUpperBound) {
   Histogram h{{1.0, 10.0}};
   h.observe(1.0);    // == bound 1 → bucket 0
@@ -46,6 +60,72 @@ TEST(Histogram, BucketsByInclusiveUpperBound) {
 
 TEST(Histogram, RejectsUnsortedBounds) {
   EXPECT_THROW(Histogram({5.0, 1.0}), std::invalid_argument);
+}
+
+TEST(LogHistogram, SmallValuesAreExact) {
+  LogHistogram h;
+  for (std::uint64_t v = 0; v < LogHistogram::kSubBuckets; ++v) {
+    EXPECT_EQ(LogHistogram::bucket_index(v), v);
+    EXPECT_EQ(LogHistogram::bucket_upper_bound(v), v);
+  }
+  h.observe(0);
+  h.observe(17);
+  h.observe(17);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 34u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 17u);
+  EXPECT_EQ(h.quantile(0.5), 17u);
+}
+
+TEST(LogHistogram, BucketBoundsRoundTrip) {
+  // Every value maps to a bucket whose upper bound is >= the value and
+  // within the guaranteed relative error.
+  for (const std::uint64_t v :
+       {std::uint64_t{63}, std::uint64_t{64}, std::uint64_t{65},
+        std::uint64_t{127}, std::uint64_t{128}, std::uint64_t{1000},
+        std::uint64_t{123456789}, std::uint64_t{1} << 40,
+        (std::uint64_t{1} << 63) + 12345,
+        std::numeric_limits<std::uint64_t>::max()}) {
+    const std::size_t idx = LogHistogram::bucket_index(v);
+    ASSERT_LT(idx, LogHistogram::kBucketCount);
+    const std::uint64_t ub = LogHistogram::bucket_upper_bound(idx);
+    EXPECT_GE(ub, v);
+    // Relative width of the bucket ≤ 2^-kSubBucketBits.
+    const double rel =
+        static_cast<double>(ub - v) / std::max<double>(1.0, double(v));
+    EXPECT_LE(rel, 1.0 / double(LogHistogram::kSubBuckets));
+  }
+}
+
+TEST(LogHistogram, QuantilesBoundedRelativeError) {
+  LogHistogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.observe(v * 1000);  // 1µs..10ms
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 10000000u);
+  const auto check = [&](double q, std::uint64_t exact) {
+    const std::uint64_t got = h.quantile(q);
+    EXPECT_GE(got, exact);
+    EXPECT_LE(static_cast<double>(got),
+              static_cast<double>(exact) * (1.0 + 1.0 / 64.0) + 1.0)
+        << "q=" << q;
+  };
+  check(0.50, 5000000);
+  check(0.90, 9000000);
+  check(0.99, 9900000);
+  EXPECT_EQ(h.quantile(1.0), h.max());
+  EXPECT_EQ(h.quantile(0.0), h.min());
+}
+
+TEST(LogHistogram, EmptyAndDurationObserve) {
+  LogHistogram h;
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  h.observe_duration(Duration{-5});  // clamps to 0
+  h.observe_duration(std::chrono::microseconds{3});
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), 3000u);
 }
 
 TEST(MetricsRegistry, SameNameReturnsSameInstrument) {
@@ -97,12 +177,23 @@ TEST(MetricsSnapshot, CanonicalJsonShape) {
   reg.counter("a").inc(1);
   reg.gauge("g").set(2.0);
   reg.histogram("h", {1.0}).observe(0.5);
+  reg.log_histogram("lat").observe(100);
   EXPECT_EQ(reg.to_json(),
             "{\"counters\":{\"a\":1,\"b\":2},"
-            "\"gauges\":{\"g\":{\"value\":2,\"max\":2}},"
+            "\"gauges\":{\"g\":{\"value\":2,\"min\":2,\"max\":2}},"
             "\"histograms\":{\"h\":{\"count\":1,\"sum\":0.5,\"min\":0.5,"
             "\"max\":0.5,\"buckets\":[{\"le\":1,\"count\":1},"
-            "{\"le\":\"inf\",\"count\":0}]}}}");
+            "{\"le\":\"inf\",\"count\":0}]}},"
+            "\"log_histograms\":{\"lat\":{\"count\":1,\"sum\":100,"
+            "\"min\":100,\"max\":100,\"p50\":100,\"p90\":100,"
+            "\"p99\":100}}}");
+}
+
+TEST(MetricsSnapshot, LogHistogramOrZeroForUnknownName) {
+  MetricsRegistry reg;
+  const auto snap = reg.snapshot().log_histogram_or_zero("nope");
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.p99, 0u);
 }
 
 TEST(MetricsSnapshot, JsonIsDeterministicAcrossInsertionOrder) {

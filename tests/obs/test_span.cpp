@@ -1,0 +1,138 @@
+// Unit tests for the span layer: deterministic ID derivation, parent-child
+// event emission, no-op behavior on invalid contexts, and the hex
+// rendering contract that tools/tlc_trace parses.
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hpp"
+
+namespace tlc::obs {
+namespace {
+
+TEST(SpanIds, DeriveTraceIdIsPureAndCollisionResistant) {
+  const std::uint64_t a = derive_trace_id(1, 2, 3, 0);
+  EXPECT_EQ(a, derive_trace_id(1, 2, 3, 0));  // pure function
+  EXPECT_NE(a, 0u);
+  // Any single input change moves the ID.
+  EXPECT_NE(a, derive_trace_id(2, 2, 3, 0));
+  EXPECT_NE(a, derive_trace_id(1, 3, 3, 0));
+  EXPECT_NE(a, derive_trace_id(1, 2, 4, 0));
+  EXPECT_NE(a, derive_trace_id(1, 2, 3, 1));
+}
+
+TEST(SpanIds, DeriveSpanIdDependsOnAllInputs) {
+  const std::uint64_t trace = derive_trace_id(7, 7, 7, 7);
+  const std::uint64_t s = derive_span_id(trace, 10, 20);
+  EXPECT_EQ(s, derive_span_id(trace, 10, 20));
+  EXPECT_NE(s, 0u);
+  EXPECT_NE(s, derive_span_id(trace, 11, 20));
+  EXPECT_NE(s, derive_span_id(trace, 10, 21));
+  EXPECT_NE(s, derive_span_id(trace + 1, 10, 20));
+}
+
+TEST(SpanIds, HexIsSixteenLowercaseChars) {
+  EXPECT_EQ(span_hex(0), "0000000000000000");
+  EXPECT_EQ(span_hex(0xdeadbeefULL), "00000000deadbeef");
+  EXPECT_EQ(span_hex(0xFFFFFFFFFFFFFFFFULL), "ffffffffffffffff");
+}
+
+TEST(Tracer, RootAndChildEmitLinkedEvents) {
+  Obs obs;
+  const std::uint64_t trace = derive_trace_id(1, 2, 3, 0);
+  const SpanContext root = obs.spans.root("tlc.exchange", "exchange", trace);
+  ASSERT_TRUE(root.valid());
+  EXPECT_EQ(root.trace_id, trace);
+  const SpanContext child = obs.spans.child("tlc.round", "round0", root);
+  ASSERT_TRUE(child.valid());
+  EXPECT_EQ(child.trace_id, trace);
+  EXPECT_NE(child.span_id, root.span_id);
+  obs.spans.end("tlc.round", child);
+  obs.spans.end("tlc.exchange", root);
+
+  const auto events = obs.trace.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].event, "span_begin");
+  EXPECT_EQ(events[1].event, "span_begin");
+  EXPECT_EQ(events[2].event, "span_end");
+  EXPECT_EQ(events[3].event, "span_end");
+  // Root begin: trace, span, name (no parent).
+  EXPECT_EQ(events[0].fields[0].key, "trace");
+  EXPECT_EQ(events[0].fields[0].value, span_hex(trace));
+  EXPECT_EQ(events[0].fields[1].key, "span");
+  EXPECT_EQ(events[0].fields[2].key, "name");
+  EXPECT_EQ(events[0].fields[2].value, "exchange");
+  // Child begin carries parent = root span.
+  EXPECT_EQ(events[1].fields[2].key, "parent");
+  EXPECT_EQ(events[1].fields[2].value, span_hex(root.span_id));
+}
+
+TEST(Tracer, InvalidParentMakesChildrenNoOps) {
+  Obs obs;
+  const SpanContext none;
+  EXPECT_FALSE(none.valid());
+  const SpanContext child = obs.spans.child("c", "x", none);
+  EXPECT_FALSE(child.valid());
+  obs.spans.end("c", child);
+  EXPECT_EQ(obs.trace.events().size(), 0u);
+}
+
+TEST(Tracer, ChildWithDerivedIdIsStable) {
+  Obs obs;
+  const std::uint64_t trace = derive_trace_id(9, 9, 9, 1);
+  const SpanContext root = obs.spans.root("a", "r", trace);
+  const std::uint64_t want = derive_span_id(trace, 42, 1);
+  const SpanContext child =
+      obs.spans.child_with_id("a.q", "queue", root, want);
+  EXPECT_EQ(child.span_id, want);
+  obs.spans.end_at(kTimeZero + std::chrono::microseconds{5}, "a.q", child);
+  const auto events = obs.trace.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[2].sim_time - kTimeZero, std::chrono::microseconds{5});
+}
+
+TEST(Tracer, RespectsComponentFilter) {
+  Obs obs;
+  obs.trace.set_component_filter({"net."});
+  const std::uint64_t trace = derive_trace_id(1, 1, 1, 1);
+  const SpanContext root = obs.spans.root("tlc.exchange", "e", trace);
+  // Span context is still valid (propagation continues) even though the
+  // begin event itself was filtered out.
+  EXPECT_TRUE(root.valid());
+  const SpanContext child = obs.spans.child("net.dl", "transit", root);
+  obs.spans.end("net.dl", child);
+  obs.spans.end("tlc.exchange", root);
+  const auto events = obs.trace.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].component, "net.dl");
+  EXPECT_EQ(events[1].component, "net.dl");
+}
+
+TEST(Tracer, MacrosHandleNullObs) {
+  Obs* obs = nullptr;
+  const SpanContext root = TLC_SPAN_ROOT(obs, "c", "r", 123u);
+  EXPECT_FALSE(root.valid());
+  const SpanContext child = TLC_SPAN_CHILD(obs, "c", "k", root);
+  EXPECT_FALSE(child.valid());
+  TLC_SPAN_END(obs, "c", child);  // must not crash
+}
+
+TEST(Tracer, MacrosEmitThroughObs) {
+  Obs obs;
+  const std::uint64_t trace = derive_trace_id(4, 4, 4, 0);
+  const SpanContext root =
+      TLC_SPAN_ROOT(&obs, "c", "r", trace, field("k", 1));
+  const SpanContext child = TLC_SPAN_CHILD(&obs, "c.s", "kid", root);
+  TLC_SPAN_END(&obs, "c.s", child, field("bytes", Bytes{10}));
+  TLC_SPAN_END(&obs, "c", root);
+#if TLC_TRACE_ENABLED
+  EXPECT_TRUE(root.valid());
+  EXPECT_EQ(obs.trace.events().size(), 4u);
+#else
+  EXPECT_FALSE(root.valid());
+  EXPECT_EQ(obs.trace.events().size(), 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace tlc::obs

@@ -109,6 +109,32 @@ TEST(TraceSink, JsonlLineShapeAndEscaping) {
             "\"cause\":\"say \\\"hi\\\"\\n\",\"ok\":true,\"ratio\":0.5}");
 }
 
+// Exotic bytes — tabs, carriage returns, NULs, and other control bytes in
+// keys or values — must escape to valid JSON, never raw bytes.
+TEST(TraceSink, JsonlEscapesExoticBytes) {
+  TraceSink sink;
+  // Split literals keep the hex escapes from swallowing the next letter.
+  const std::string exotic{"a\tb\rc\x01" "d\x1f e\b\f", 11};
+  sink.emit("comp", "ev", {field(std::string_view{"k\ney", 4}, exotic)});
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].to_jsonl(),
+            "{\"t_ns\":0,\"seq\":0,\"level\":\"info\","
+            "\"component\":\"comp\",\"event\":\"ev\","
+            "\"k\\ney\":\"a\\tb\\rc\\u0001d\\u001f e\\b\"}");
+}
+
+TEST(TraceSink, JsonlEscapesNulByte) {
+  TraceSink sink;
+  const std::string with_nul{"x\0y", 3};
+  sink.emit(with_nul, "e");
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 1u);
+  const std::string line = events[0].to_jsonl();
+  EXPECT_NE(line.find("\\u0000"), std::string::npos);
+  EXPECT_EQ(line.find('\0'), std::string::npos);
+}
+
 TEST(TraceSink, JsonlFileReceivesOneLinePerEvent) {
   const std::string path = ::testing::TempDir() + "trace_sink_test.jsonl";
   {

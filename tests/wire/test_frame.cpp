@@ -1,0 +1,57 @@
+// Unit tests for the transport frame: round-trip, payload transparency
+// (signed bytes unchanged), and loud failure on malformed input.
+#include "wire/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wire/codec.hpp"
+
+namespace tlc::wire {
+namespace {
+
+TEST(Frame, RoundTripsHeaderAndPayload) {
+  const ByteVec payload{1, 2, 3, 4, 5};
+  FrameHeader h;
+  h.trace_id = 0x1122334455667788ULL;
+  h.span_id = 0x99aabbccddeeff00ULL;
+  h.attempt = 3;
+  const ByteVec wire = encode_frame(h, payload);
+  EXPECT_EQ(wire.size(), kFrameOverhead + payload.size());
+  const Frame f = decode_frame(wire);
+  EXPECT_EQ(f.header, h);
+  EXPECT_EQ(f.payload, payload);
+}
+
+TEST(Frame, UntracedAndEmptyPayload) {
+  const Frame f = decode_frame(encode_frame(FrameHeader{}, {}));
+  EXPECT_EQ(f.header.trace_id, 0u);
+  EXPECT_EQ(f.header.attempt, 0u);
+  EXPECT_TRUE(f.payload.empty());
+}
+
+TEST(Frame, RejectsBadMagic) {
+  const ByteVec payload{9, 9};
+  ByteVec wire = encode_frame(FrameHeader{}, payload);
+  wire[0] ^= 0xff;
+  EXPECT_THROW(decode_frame(wire), DecodeError);
+}
+
+TEST(Frame, RejectsUnknownVersion) {
+  const ByteVec payload{9};
+  ByteVec wire = encode_frame(FrameHeader{}, payload);
+  wire[4] = kFrameVersion + 1;
+  EXPECT_THROW(decode_frame(wire), DecodeError);
+}
+
+TEST(Frame, RejectsTruncationAndTrailingBytes) {
+  const ByteVec payload{1, 2, 3};
+  const ByteVec wire = encode_frame(FrameHeader{}, payload);
+  ByteVec truncated{wire.begin(), wire.end() - 1};
+  EXPECT_THROW(decode_frame(truncated), DecodeError);
+  ByteVec padded = wire;
+  padded.push_back(0);
+  EXPECT_THROW(decode_frame(padded), DecodeError);
+}
+
+}  // namespace
+}  // namespace tlc::wire

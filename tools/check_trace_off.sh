@@ -1,9 +1,10 @@
 #!/usr/bin/env sh
-# CI-style check: the TLC_TRACE=OFF build (trace macros compiled to no-ops)
-# must stay warning-clean with the full warning set promoted to errors.
-# The no-op macros still "use" every argument inside an `if (false)` block,
-# so a field expression that only exists for tracing cannot regress into an
-# unused-variable warning when tracing is compiled out.
+# CI-style check: the TLC_TRACE=OFF build (trace + span macros compiled to
+# no-ops) must stay warning-clean with the full warning set promoted to
+# errors. The no-op macros still "use" every argument inside an
+# `if (false)` block, so a field expression that only exists for tracing
+# cannot regress into an unused-variable warning when tracing is compiled
+# out.
 #
 # Benchmarks are excluded: bench/ carries pre-existing sign-conversion
 # warnings unrelated to tracing.
@@ -20,4 +21,22 @@ cmake -S "$repo_root" -B "$build_dir" \
 
 cmake --build "$build_dir" -j "$(nproc)"
 
-echo "OK: TLC_TRACE=OFF build is warning-clean (-Werror)."
+# Behavioural half of the check: in the OFF build the packet-path span
+# instrumentation (net.* queue/transit spans, epc.* process events) must
+# vanish from a streamed trace entirely — only the cold-path settlement
+# spans (direct Tracer calls after the measured window) may remain.
+trace_file="$(mktemp)"
+trap 'rm -f "$trace_file"' EXIT INT TERM
+"$build_dir/tools/tlc_lab" --app=udp --cycles=1 --cycle-secs=30 --wire \
+  --trace="$trace_file" >/dev/null
+if grep -q '"component":"net\.' "$trace_file"; then
+  echo "FAIL: TLC_TRACE=OFF build still emits net.* trace events" >&2
+  exit 1
+fi
+if grep -q '"component":"epc\.' "$trace_file"; then
+  echo "FAIL: TLC_TRACE=OFF build still emits epc.* trace events" >&2
+  exit 1
+fi
+
+echo "OK: TLC_TRACE=OFF build is warning-clean (-Werror) and emits no"
+echo "    packet-path trace events."

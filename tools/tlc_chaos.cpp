@@ -98,5 +98,14 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "tlc_chaos: %d plans, %zu violations, fingerprint %s\n",
                options.plans, report.violations.size(),
                report.fingerprint().c_str());
+  for (const fault::Violation& v : report.violations) {
+    // Blame line: the trace id names the offending exchange's spans in a
+    // JSONL trace of the same plan (analyse with tlc_trace --timeline=<id>).
+    std::fprintf(stderr, "tlc_chaos: BLAME plan=%llu invariant=%s%s%s: %s\n",
+                 static_cast<unsigned long long>(v.plan_id),
+                 v.invariant.c_str(),
+                 v.trace.empty() ? "" : " exchange-trace=",
+                 v.trace.c_str(), v.detail.c_str());
+  }
   return report.violations.empty() ? 0 : 1;
 }

@@ -19,6 +19,7 @@
 #include "exp/metrics.hpp"
 #include "exp/scenario.hpp"
 #include "net/packet.hpp"
+#include "obs/span.hpp"
 
 using namespace tlc;
 using namespace tlc::exp;
@@ -43,6 +44,9 @@ namespace {
       "  --dl-source=rrc|api|system operator DL monitor (default rrc)\n"
       "  --handover=<secs>          seconds between cell handovers (default 0)\n"
       "  --trace=<file>             stream the structured trace to a JSONL file\n"
+      "  --wire                     run the wire-level CDR→CDA→PoC settlement\n"
+      "                             after the measured window (adds tlc.settle.*\n"
+      "                             metrics; analyse with tlc_trace)\n"
       "  --metrics                  print the metrics snapshot + gap cross-check\n"
       "  --help                     this text\n");
   std::exit(code);
@@ -82,6 +86,10 @@ int main(int argc, char** argv) {
     if (std::strcmp(arg, "--help") == 0) usage(0);
     if (std::strcmp(arg, "--metrics") == 0) {
       print_metrics = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--wire") == 0) {
+      cfg.wire_settlement = true;
       continue;
     }
     if (parse_flag(arg, "--app", &value)) {
@@ -173,6 +181,30 @@ int main(int argc, char** argv) {
               format_percent(legacy_eps.mean()).c_str(),
               format_percent(random_eps.mean()).c_str(),
               format_percent(optimal_eps.mean()).c_str());
+
+  if (!result.settlements.empty()) {
+    std::printf("\n── wire settlement ──\n");
+    Table wire{{"cycle", "trace", "ok", "charged", "msgs", "retx", "rounds",
+                "elapsed"}};
+    for (const auto& s : result.settlements) {
+      wire.add_row({std::to_string(s.cycle), obs::span_hex(s.trace_id),
+                    s.completed ? "yes" : "NO", format_bytes(s.charged),
+                    std::to_string(s.messages),
+                    std::to_string(s.retransmissions),
+                    std::to_string(s.rounds), format_duration(s.elapsed)});
+    }
+    wire.print();
+    const auto rtt = result.metrics.log_histogram_or_zero("tlc.settle.rtt_ns");
+    const auto dur =
+        result.metrics.log_histogram_or_zero("tlc.settle.duration_ns");
+    std::printf("\nRTT p50/p90/p99: %llu/%llu/%llu µs | exchange p50/p99: "
+                "%llu/%llu µs\n",
+                static_cast<unsigned long long>(rtt.p50 / 1000),
+                static_cast<unsigned long long>(rtt.p90 / 1000),
+                static_cast<unsigned long long>(rtt.p99 / 1000),
+                static_cast<unsigned long long>(dur.p50 / 1000),
+                static_cast<unsigned long long>(dur.p99 / 1000));
+  }
 
   if (print_metrics) {
     std::printf("\n── metrics snapshot ──\n");

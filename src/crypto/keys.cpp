@@ -59,13 +59,9 @@ KeyPair KeyPair::generate(KeyStrength strength) {
   KeyPair kp;
   kp.pkey_ = wrap(pkey);
   kp.strength_ = strength;
-  return kp;
-}
-
-PublicKey KeyPair::public_key() const {
-  if (!valid()) throw std::logic_error{"KeyPair::public_key on empty pair"};
-  // Re-encode through DER to get a verify-only handle with no private part.
-  auto* pkey = static_cast<EVP_PKEY*>(pkey_.get());
+  kp.sig_size_ = static_cast<std::size_t>(EVP_PKEY_get_size(pkey));
+  // Re-encode through DER to get a verify-only handle with no private
+  // part, once: OpenSSL 3 prices this parse at hundreds of microseconds.
   const int len = i2d_PUBKEY(pkey, nullptr);
   if (len <= 0) throw std::runtime_error{"i2d_PUBKEY sizing failed"};
   ByteVec der(static_cast<std::size_t>(len));
@@ -73,13 +69,13 @@ PublicKey KeyPair::public_key() const {
   if (i2d_PUBKEY(pkey, &ptr) != len) {
     throw std::runtime_error{"i2d_PUBKEY failed"};
   }
-  return PublicKey::from_der(der);
+  kp.public_ = PublicKey::from_der(der);
+  return kp;
 }
 
-std::size_t KeyPair::signature_size() const {
-  if (!valid()) return 0;
-  return static_cast<std::size_t>(
-      EVP_PKEY_get_size(static_cast<EVP_PKEY*>(pkey_.get())));
+const PublicKey& KeyPair::public_key() const {
+  if (!valid()) throw std::logic_error{"KeyPair::public_key on empty pair"};
+  return public_;
 }
 
 }  // namespace tlc::crypto

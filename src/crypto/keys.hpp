@@ -33,6 +33,9 @@ class PublicKey {
 
   [[nodiscard]] bool valid() const { return pkey_ != nullptr; }
   [[nodiscard]] void* handle() const { return pkey_.get(); }
+  /// Shared ownership of the EVP_PKEY — the signer's per-session context
+  /// cache holds this so a cached verify context never outlives its key.
+  [[nodiscard]] std::shared_ptr<void> shared_handle() const { return pkey_; }
 
   friend bool operator==(const PublicKey& a, const PublicKey& b);
 
@@ -51,17 +54,27 @@ class KeyPair {
   /// rather than seed OpenSSL's RNG.
   [[nodiscard]] static KeyPair generate(KeyStrength strength);
 
-  [[nodiscard]] PublicKey public_key() const;
+  /// The verify-only handle, derived ONCE at generation: the OpenSSL 3
+  /// DER re-parse that strips the private part costs ~0.7 ms, far more
+  /// than an RSA-1024 verify, so deriving per call would dominate every
+  /// path that builds a verifier or party.
+  [[nodiscard]] const PublicKey& public_key() const;
   [[nodiscard]] bool valid() const { return pkey_ != nullptr; }
   [[nodiscard]] void* handle() const { return pkey_.get(); }
+  /// Shared ownership of the EVP_PKEY (see PublicKey::shared_handle).
+  [[nodiscard]] std::shared_ptr<void> shared_handle() const { return pkey_; }
   [[nodiscard]] KeyStrength strength() const { return strength_; }
 
-  /// Signature size in bytes (= modulus size: 128 for RSA-1024).
-  [[nodiscard]] std::size_t signature_size() const;
+  /// Signature size in bytes (= modulus size: 128 for RSA-1024). Cached at
+  /// generation — the signing hot path sizes a buffer per signature and
+  /// EVP_PKEY_get_size walks the provider parameters every call.
+  [[nodiscard]] std::size_t signature_size() const { return sig_size_; }
 
  private:
   std::shared_ptr<void> pkey_;  // EVP_PKEY with private part
+  PublicKey public_;            // cached verify-only handle
   KeyStrength strength_ = KeyStrength::kRsa1024;
+  std::size_t sig_size_ = 0;
 };
 
 }  // namespace tlc::crypto

@@ -1,48 +1,112 @@
 #include "crypto/signer.hpp"
 
 #include <openssl/evp.h>
+#include <openssl/rsa.h>
 
+#include <array>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 namespace tlc::crypto {
 namespace {
 
-struct CtxDeleter {
-  void operator()(EVP_MD_CTX* ctx) const { EVP_MD_CTX_free(ctx); }
+struct PkeyCtxDeleter {
+  void operator()(EVP_PKEY_CTX* ctx) const { EVP_PKEY_CTX_free(ctx); }
 };
-using CtxPtr = std::unique_ptr<EVP_MD_CTX, CtxDeleter>;
+using PkeyCtxPtr = std::unique_ptr<EVP_PKEY_CTX, PkeyCtxDeleter>;
 
-// One context per thread serves every sign/verify call (mirroring the
-// thread-local one-shot Sha256): the CDR→CDA→PoC path signs and verifies at
-// every negotiation message, and EVP_MD_CTX_new/free per call dominated the
-// non-RSA cost. Reset leaves the context reusable; sweep workers each get
-// their own, so no locking is needed.
-EVP_MD_CTX* local_ctx() {
-  thread_local CtxPtr ctx{EVP_MD_CTX_new()};
-  if (!ctx) throw std::runtime_error{"EVP_MD_CTX_new failed"};
-  EVP_MD_CTX_reset(ctx.get());
-  return ctx.get();
+/// One initialised EVP_PKEY context per (thread, key, operation). RSA
+/// PKCS#1 contexts are reusable: EVP_PKEY_sign/EVP_PKEY_verify may be
+/// called any number of times after one *_init with fixed parameters, so
+/// the padding/digest setup — and the provider fetch behind it — is paid
+/// once per session instead of once per message. Entries hold shared
+/// ownership of the EVP_PKEY so a cached context never dangles.
+struct CachedCtx {
+  std::shared_ptr<void> key;  // EVP_PKEY keep-alive; .get() is the cache key
+  PkeyCtxPtr ctx;
+};
+
+constexpr std::size_t kCtxCacheSlots = 8;
+
+struct CtxCache {
+  std::array<CachedCtx, kCtxCacheSlots> slots;
+  std::size_t next_evict = 0;
+};
+
+CtxCache& sign_cache() {
+  thread_local CtxCache cache;
+  return cache;
+}
+
+CtxCache& verify_cache() {
+  thread_local CtxCache cache;
+  return cache;
+}
+
+/// Finds (or creates, initialises, and caches) the context for `key`.
+/// `init` receives a fresh EVP_PKEY_CTX and must complete the operation
+/// setup; it is only invoked on a cache miss.
+template <typename InitFn>
+EVP_PKEY_CTX* cached_ctx(CtxCache& cache, const std::shared_ptr<void>& key,
+                         InitFn&& init) {
+  for (CachedCtx& slot : cache.slots) {
+    if (slot.key.get() == key.get() && slot.key != nullptr) {
+      return slot.ctx.get();
+    }
+  }
+  PkeyCtxPtr fresh{EVP_PKEY_CTX_new(static_cast<EVP_PKEY*>(key.get()),
+                                    nullptr)};
+  if (!fresh) throw std::runtime_error{"EVP_PKEY_CTX_new failed"};
+  init(fresh.get());
+  CachedCtx& victim = cache.slots[cache.next_evict];
+  cache.next_evict = (cache.next_evict + 1) % kCtxCacheSlots;
+  victim.key = key;
+  victim.ctx = std::move(fresh);
+  return victim.ctx.get();
+}
+
+EVP_PKEY_CTX* verify_ctx_for(const PublicKey& key) {
+  return cached_ctx(verify_cache(), key.shared_handle(), [](EVP_PKEY_CTX* c) {
+    if (EVP_PKEY_verify_init(c) != 1) {
+      throw std::runtime_error{"EVP_PKEY_verify_init failed"};
+    }
+    if (EVP_PKEY_CTX_set_rsa_padding(c, RSA_PKCS1_PADDING) != 1 ||
+        EVP_PKEY_CTX_set_signature_md(c, EVP_sha256()) != 1) {
+      throw std::runtime_error{"verify context setup failed"};
+    }
+  });
+}
+
+EVP_PKEY_CTX* sign_ctx_for(const KeyPair& key) {
+  return cached_ctx(sign_cache(), key.shared_handle(), [](EVP_PKEY_CTX* c) {
+    if (EVP_PKEY_sign_init(c) != 1) {
+      throw std::runtime_error{"EVP_PKEY_sign_init failed"};
+    }
+    if (EVP_PKEY_CTX_set_rsa_padding(c, RSA_PKCS1_PADDING) != 1 ||
+        EVP_PKEY_CTX_set_signature_md(c, EVP_sha256()) != 1) {
+      throw std::runtime_error{"sign context setup failed"};
+    }
+  });
+}
+
+bool verify_digest_with(EVP_PKEY_CTX* ctx, const Digest& digest,
+                        std::span<const std::uint8_t> signature) {
+  return EVP_PKEY_verify(ctx, signature.data(), signature.size(),
+                         digest.data(), digest.size()) == 1;
 }
 
 }  // namespace
 
 ByteVec sign(const KeyPair& key, std::span<const std::uint8_t> message) {
   if (!key.valid()) throw std::logic_error{"sign: empty key pair"};
-  EVP_MD_CTX* ctx = local_ctx();
-  auto* pkey = static_cast<EVP_PKEY*>(key.handle());
-  if (EVP_DigestSignInit(ctx, nullptr, EVP_sha256(), nullptr, pkey) != 1) {
-    throw std::runtime_error{"EVP_DigestSignInit failed"};
-  }
-  // EVP_PKEY_size bounds the signature, so the buffer is sized in one shot
-  // instead of a separate EVP_DigestSign sizing round-trip.
-  const int max_len = EVP_PKEY_size(pkey);
-  if (max_len <= 0) throw std::runtime_error{"EVP_PKEY_size failed"};
-  ByteVec sig(static_cast<std::size_t>(max_len));
+  EVP_PKEY_CTX* ctx = sign_ctx_for(key);
+  const Digest digest = sha256(message);
+  ByteVec sig(key.signature_size());
   std::size_t sig_len = sig.size();
-  if (EVP_DigestSign(ctx, sig.data(), &sig_len, message.data(),
-                     message.size()) != 1) {
-    throw std::runtime_error{"EVP_DigestSign failed"};
+  if (EVP_PKEY_sign(ctx, sig.data(), &sig_len, digest.data(),
+                    digest.size()) != 1) {
+    throw std::runtime_error{"EVP_PKEY_sign failed"};
   }
   sig.resize(sig_len);
   return sig;
@@ -51,13 +115,37 @@ ByteVec sign(const KeyPair& key, std::span<const std::uint8_t> message) {
 bool verify(const PublicKey& key, std::span<const std::uint8_t> message,
             std::span<const std::uint8_t> signature) {
   if (!key.valid()) throw std::logic_error{"verify: empty public key"};
-  EVP_MD_CTX* ctx = local_ctx();
-  if (EVP_DigestVerifyInit(ctx, nullptr, EVP_sha256(), nullptr,
-                           static_cast<EVP_PKEY*>(key.handle())) != 1) {
-    throw std::runtime_error{"EVP_DigestVerifyInit failed"};
+  return verify_digest_with(verify_ctx_for(key), sha256(message), signature);
+}
+
+bool verify_digest(const PublicKey& key, const Digest& digest,
+                   std::span<const std::uint8_t> signature) {
+  if (!key.valid()) throw std::logic_error{"verify_digest: empty public key"};
+  return verify_digest_with(verify_ctx_for(key), digest, signature);
+}
+
+std::size_t verify_batch(const PublicKey& key,
+                         std::span<const VerifyItem> items,
+                         std::vector<std::uint8_t>* results) {
+  if (!key.valid()) throw std::logic_error{"verify_batch: empty public key"};
+  EVP_PKEY_CTX* ctx = verify_ctx_for(key);
+  if (results != nullptr) {
+    results->clear();
+    results->reserve(items.size());
   }
-  return EVP_DigestVerify(ctx, signature.data(), signature.size(),
-                          message.data(), message.size()) == 1;
+  std::size_t ok = 0;
+  for (const VerifyItem& item : items) {
+    const bool valid =
+        verify_digest_with(ctx, sha256(item.message), item.signature);
+    ok += valid ? 1 : 0;
+    if (results != nullptr) results->push_back(valid ? 1 : 0);
+  }
+  return ok;
+}
+
+void reset_signer_caches() {
+  sign_cache() = CtxCache{};
+  verify_cache() = CtxCache{};
 }
 
 }  // namespace tlc::crypto

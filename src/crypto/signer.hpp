@@ -1,10 +1,23 @@
 // Digital signatures over charging messages (RSA PKCS#1 v1.5 + SHA-256).
+//
+// Two cost tiers:
+//   * sign / verify — the per-message primitives. Each keeps a per-session
+//     (thread-local, per-key) EVP_PKEY context, initialised once per key
+//     and reused for every subsequent operation, so repeated exchanges
+//     with the same peer skip the handshake-time key setup OpenSSL would
+//     otherwise redo on every call.
+//   * verify_batch / verify_digest — the amortized path for hash-chained
+//     receipt batches: the caller hashes k messages (or presents
+//     precomputed digests) and the k raw RSA checks run against one cached
+//     context in a single pass, with no per-item setup.
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "common/hex.hpp"
 #include "crypto/keys.hpp"
+#include "crypto/sha256.hpp"
 
 namespace tlc::crypto {
 
@@ -18,5 +31,30 @@ namespace tlc::crypto {
 [[nodiscard]] bool verify(const PublicKey& key,
                           std::span<const std::uint8_t> message,
                           std::span<const std::uint8_t> signature);
+
+/// Verifies `signature` over an already-computed SHA-256 digest using the
+/// session-cached context for `key`. The batch-verify hot loop calls this
+/// per head; it performs no allocation once the key's context is cached.
+[[nodiscard]] bool verify_digest(const PublicKey& key, const Digest& digest,
+                                 std::span<const std::uint8_t> signature);
+
+/// One (message, signature) pair of a batch-verification pass.
+struct VerifyItem {
+  std::span<const std::uint8_t> message;
+  std::span<const std::uint8_t> signature;
+};
+
+/// Verifies every item under `key` in one amortized pass: the key context
+/// is set up (or found cached) once, then each item costs one SHA-256 and
+/// one raw RSA check. Returns the number of valid signatures; when
+/// `results` is non-null it receives one 0/1 flag per item.
+[[nodiscard]] std::size_t verify_batch(const PublicKey& key,
+                                       std::span<const VerifyItem> items,
+                                       std::vector<std::uint8_t>* results =
+                                           nullptr);
+
+/// Drops this thread's cached sign/verify key contexts (key rotation,
+/// leak-checking tests). Safe to call at any point.
+void reset_signer_caches();
 
 }  // namespace tlc::crypto

@@ -4,7 +4,9 @@
 #include <memory>
 
 #include "common/log.hpp"
+#include "tlc/batch.hpp"
 #include "tlc/strategy.hpp"
+#include "tlc/verifier.hpp"
 #include "workloads/gaming.hpp"
 #include "workloads/video.hpp"
 
@@ -213,6 +215,54 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   result.config = config;
   result.metrics = bed.obs().metrics.snapshot();
   if (settlement) result.settlements = settlement->outcomes();
+  if (settlement && config.poc_batch_size > 0) {
+    // Pure post-run computation on already-collected receipt bytes: no
+    // trace events, no RNG draws, no scheduler activity — byte-identical
+    // runs at any batch size.
+    core::FlushPolicy policy;
+    policy.max_batch = config.poc_batch_size;
+    policy.flush_on_cycle_end = false;  // batch ACROSS billing cycles
+    core::BatchBuilder builder{settlement->operator_keys(),
+                               core::PartyRole::kCellularOperator, policy};
+    std::vector<core::ReceiptBatch> batches;
+    for (const WireSettlement::Receipt& r : settlement->receipts()) {
+      if (auto b = builder.append_encoded(r.poc, r.cycle)) {
+        batches.push_back(std::move(*b));
+      }
+    }
+    if (auto b = builder.flush()) batches.push_back(std::move(*b));
+
+    core::BatchedVerifier verifier{settlement->edge_keys().public_key(),
+                                   settlement->operator_keys().public_key(),
+                                   tb.plan};
+    BatchAuditSummary summary;
+    summary.batch_size = config.poc_batch_size;
+    for (const core::ReceiptBatch& batch : batches) {
+      // Round-trip through the wire batch-frame format so the audit covers
+      // exactly what a settlement would transmit; the frame carries the
+      // causal trace id of the batch's first receipt.
+      wire::FrameHeader header;
+      header.trace_id =
+          exchange_trace_id(config.seed, WireSettlementConfig{}.device,
+                            batch.head.first_cycle, direction);
+      const ByteVec frame_bytes =
+          wire::encode_batch_frame(core::to_batch_frame(batch, header));
+      const core::ReceiptBatch received =
+          core::from_batch_frame(wire::decode_batch_frame(frame_bytes));
+      const core::BatchAudit audit = verifier.verify_batch(received);
+      ++summary.batches;
+      if (audit.head == core::BatchVerifyResult::kOk) {
+        ++summary.heads_accepted;
+      } else {
+        ++summary.heads_rejected;
+      }
+      summary.receipts_total += received.entries.size();
+      summary.receipts_accepted += audit.accepted;
+      summary.receipts_rejected += audit.rejected;
+      summary.total_verified_volume += audit.total_verified_volume;
+    }
+    result.batch_audit = summary;
+  }
   {
     const std::vector<obs::TraceEvent> ring = bed.obs().trace.events();
     const std::size_t keep = std::min<std::size_t>(ring.size(), 64);

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -62,6 +63,14 @@ struct ScenarioConfig {
   /// the app-traffic cycle outcomes — settlement traffic starts only once
   /// the workload has stopped.
   bool wire_settlement = false;
+  /// Batched receipt verification (tlc/batch.hpp): after the wire
+  /// settlements finish, their PoCs are Merkle-batched in groups of this
+  /// size, round-tripped through the wire batch-frame format, and audited
+  /// with ONE RSA head check per batch instead of three per receipt.
+  /// 0 (default) keeps the classic per-message path; the batched audit is
+  /// a pure post-run computation, so cycle outcomes, metrics, and traces
+  /// are byte-identical at any batch size. Requires wire_settlement.
+  std::size_t poc_batch_size = 0;
   /// Called once after the testbed is built and configured, before any
   /// traffic flows. The fault layer (src/fault/) uses this to attach
   /// injectors without exp/ depending on fault/. Must be deterministic.
@@ -85,6 +94,18 @@ struct CycleOutcome {
   [[nodiscard]] charging::GapMetrics random_gap() const;
 };
 
+/// Outcome of the post-run batched receipt audit (poc_batch_size > 0).
+struct BatchAuditSummary {
+  std::size_t batch_size = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t heads_accepted = 0;
+  std::uint64_t heads_rejected = 0;
+  std::uint64_t receipts_total = 0;
+  std::uint64_t receipts_accepted = 0;
+  std::uint64_t receipts_rejected = 0;
+  Bytes total_verified_volume;
+};
+
 struct ScenarioResult {
   ScenarioConfig config;
   std::vector<CycleOutcome> cycles;
@@ -95,6 +116,8 @@ struct ScenarioResult {
   obs::MetricsSnapshot metrics;
   /// One entry per wire-settled cycle (empty unless wire_settlement).
   std::vector<SettlementOutcome> settlements;
+  /// Set when poc_batch_size > 0 and wire settlement ran.
+  std::optional<BatchAuditSummary> batch_audit;
   /// The last ≤64 trace-ring events of the run, rendered as JSONL — the
   /// causal tail a chaos report embeds when an invariant trips.
   std::vector<std::string> trace_tail;

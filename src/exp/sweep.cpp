@@ -184,6 +184,21 @@ std::string result_fingerprint(const ScenarioResult& result) {
     append_kv(out, "eta", c.disconnect_ratio);
     out += "\n";
   }
+  // Emitted only when the batched audit ran, so classic fingerprints stay
+  // bit-identical to what they were before batching existed.
+  if (result.batch_audit.has_value()) {
+    const BatchAuditSummary& b = *result.batch_audit;
+    out += "batch_audit";
+    append_kv(out, "k", static_cast<std::uint64_t>(b.batch_size));
+    append_kv(out, "batches", b.batches);
+    append_kv(out, "heads_ok", b.heads_accepted);
+    append_kv(out, "heads_bad", b.heads_rejected);
+    append_kv(out, "rcpt_total", b.receipts_total);
+    append_kv(out, "rcpt_ok", b.receipts_accepted);
+    append_kv(out, "rcpt_bad", b.receipts_rejected);
+    append_kv(out, "volume", b.total_verified_volume.count());
+    out += "\n";
+  }
   out += result.metrics.to_json();
   out += "\n";
   return out;

@@ -297,6 +297,10 @@ void WireSettlement::finish_cycle() {
                       obs::field("retx", current_.retransmissions)});
   exchange_span_ = {};
   outcomes_.push_back(current_);
+  if (current_.completed && op_->poc().has_value()) {
+    receipts_.push_back(
+        Receipt{current_.cycle, current_.trace_id, op_->poc()->encode()});
+  }
   edge_.reset();
   op_.reset();
 

@@ -99,6 +99,29 @@ class WireSettlement {
     return outcomes_;
   }
 
+  /// The encoded Proof-of-Charging of one completed settlement, with the
+  /// causal context it travelled under.
+  struct Receipt {
+    std::uint64_t cycle = 0;
+    std::uint64_t trace_id = 0;
+    ByteVec poc;
+  };
+
+  /// Receipts of completed settlements, in cycle order. Collected
+  /// unconditionally (pure memory, no trace events, no RNG draws), so
+  /// batched post-run audits never perturb the run's determinism.
+  [[nodiscard]] const std::vector<Receipt>& receipts() const {
+    return receipts_;
+  }
+
+  /// Key material for post-run batch construction and audit.
+  [[nodiscard]] const crypto::KeyPair& edge_keys() const {
+    return edge_keys_;
+  }
+  [[nodiscard]] const crypto::KeyPair& operator_keys() const {
+    return op_keys_;
+  }
+
  private:
   /// Worst-case time for a launched packet to resolve: max_buffer_wait
   /// (3 s) + propagation + transmission, rounded up.
@@ -155,6 +178,7 @@ class WireSettlement {
   std::uint64_t next_packet_id_ = 0x8000'0000'0000'0000ULL;
 
   std::vector<SettlementOutcome> outcomes_;
+  std::vector<Receipt> receipts_;
 };
 
 }  // namespace tlc::exp

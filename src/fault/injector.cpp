@@ -49,6 +49,8 @@ exp::ScenarioConfig FaultSession::scenario() {
   cfg.cycles = plan_.cycles;
   cfg.cycle_length = from_seconds(plan_.cycle_length_s);
   cfg.seed = plan_.seed;
+  cfg.wire_settlement = plan_.wire_settlement;
+  cfg.poc_batch_size = plan_.poc_batch_size;
   cfg.testbed_hook = [this](exp::Testbed& bed) { attach(bed); };
   return cfg;
 }

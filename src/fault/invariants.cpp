@@ -186,6 +186,61 @@ void check_gap_identity(const FaultPlan& plan,
   }
 }
 
+void check_batch_audit(const FaultPlan& plan,
+                       const exp::ScenarioResult& result,
+                       std::vector<Violation>& out) {
+  if (!result.batch_audit.has_value()) {
+    if (plan.wire_settlement && plan.poc_batch_size > 0) {
+      add(out, plan.id, "batch-audit",
+          "plan enables batching but the result carries no batch audit");
+    }
+    return;
+  }
+  const exp::BatchAuditSummary& b = *result.batch_audit;
+
+  // Honest run: every hash-chained head and every Merkle-committed receipt
+  // must verify — a single rejection means the batch layer lost or
+  // corrupted a receipt the settlements actually produced.
+  if (b.heads_rejected != 0 || b.receipts_rejected != 0) {
+    add(out, plan.id, "batch-audit",
+        "honest batches rejected: heads " + std::to_string(b.heads_rejected) +
+            ", receipts " + std::to_string(b.receipts_rejected));
+  }
+
+  // Conservation: the audit must cover exactly the completed settlements,
+  // and the verified volume must reproduce their agreed charges.
+  std::uint64_t completed = 0;
+  Bytes settled_volume;
+  for (const exp::SettlementOutcome& s : result.settlements) {
+    if (s.completed) {
+      ++completed;
+      settled_volume += s.charged;
+    }
+  }
+  if (b.receipts_total != completed || b.receipts_accepted != completed) {
+    add(out, plan.id, "batch-audit",
+        "audited " + std::to_string(b.receipts_total) + " receipts (" +
+            std::to_string(b.receipts_accepted) + " accepted) but " +
+            std::to_string(completed) + " settlements completed");
+  }
+  if (b.total_verified_volume != settled_volume) {
+    add(out, plan.id, "batch-audit",
+        "verified volume " + bytes_str(b.total_verified_volume) +
+            " != settled volume " + bytes_str(settled_volume));
+  }
+  if (b.batch_size > 0 && completed > 0) {
+    const std::uint64_t expected_batches =
+        (completed + b.batch_size - 1) / b.batch_size;
+    if (b.batches != expected_batches) {
+      add(out, plan.id, "batch-audit",
+          "expected " + std::to_string(expected_batches) + " batches of " +
+              std::to_string(b.batch_size) + " for " +
+              std::to_string(completed) + " receipts, audited " +
+              std::to_string(b.batches));
+    }
+  }
+}
+
 }  // namespace
 
 std::string Violation::to_json() const {
@@ -204,6 +259,7 @@ void check_scenario_invariants(const FaultPlan& plan,
     check_cycle(plan, result.config.seed, c, out);
   }
   check_gap_identity(plan, result.metrics, out);
+  check_batch_audit(plan, result, out);
 }
 
 void check_attack_outcomes(const FaultPlan& plan,

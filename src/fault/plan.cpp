@@ -120,6 +120,10 @@ std::string FaultPlan::describe() const {
   out += "}";
   out += ",\"wire_attacks\":";
   out += wire_attacks ? "true" : "false";
+  if (wire_settlement) {
+    out += ",\"wire_settlement\":true,";
+    append_kv(out, "poc_batch", static_cast<std::uint64_t>(poc_batch_size));
+  }
   out += "}";
   return out;
 }
@@ -192,6 +196,15 @@ FaultPlan make_random_plan(std::uint64_t id, std::uint64_t master_seed) {
   plan.exchange.edge_factor = rng.uniform(0.8, 1.0);
   plan.exchange.op = draw_style(0.3, 0.2);
   plan.exchange.op_factor = rng.uniform(1.0, 1.25);
+
+  // ~30% of plans run the wire settlement and audit its receipts through
+  // the batched hash-chained path; size 1 exercises the degenerate batch
+  // (bit-for-bit the per-message wire invariants), 64 the amortized one.
+  if (rng.chance(0.3)) {
+    plan.wire_settlement = true;
+    const std::uint32_t sizes[3] = {1, 4, 64};
+    plan.poc_batch_size = sizes[rng.uniform_int(0, 2)];
+  }
 
   return plan;
 }

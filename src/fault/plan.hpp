@@ -124,6 +124,14 @@ struct FaultPlan {
   /// coverage for runtime.
   bool wire_attacks = true;
 
+  /// Run the wire-level settlement after the measured window and, when
+  /// poc_batch_size > 0, the batched hash-chained receipt audit over its
+  /// PoCs. The batch-audit invariant then asserts that every head and
+  /// every receipt of an honest run verifies and that the audited volume
+  /// matches the settlements exactly.
+  bool wire_settlement = false;
+  std::uint32_t poc_batch_size = 0;  // 0 = per-message verification
+
   /// Single-line canonical JSON (stable key order) — used in reports and
   /// in the determinism fingerprint.
   [[nodiscard]] std::string describe() const;

@@ -2,8 +2,10 @@
 
 #include <utility>
 
+#include "tlc/batch.hpp"
 #include "tlc/protocol.hpp"
 #include "tlc/verifier.hpp"
+#include "wire/batch_frame.hpp"
 #include "wire/codec.hpp"
 
 namespace tlc::fault {
@@ -212,6 +214,113 @@ std::vector<AttackOutcome> run_wire_attacks(const WireAttackContext& ctx,
         fresh.op().error() == core::ProtocolError::kPlanMismatch;
     out.push_back(AttackOutcome{"stale-cycle-replay", rejected,
                                 to_string(fresh.op().error())});
+  }
+
+  // 7–9. Batched-receipt attacks: two genuine PoCs are Merkle-batched and
+  // hash-chained, then the batch layer is attacked on the wire. Every
+  // tampered batch round-trips through the batch-frame codec first, so the
+  // wire format itself is part of the attacked surface.
+  {
+    Probe p1{ctx, ctx.cycle, rng};
+    Probe p2{ctx, next_cycle(ctx.cycle), rng};
+    const bool captured = p1.run_captured() && p2.run_captured() &&
+                          p1.op().poc().has_value() &&
+                          p2.op().poc().has_value();
+    if (!captured) {
+      out.push_back(
+          AttackOutcome{"batch-chain-splice", false, "exchange-incomplete"});
+      out.push_back(
+          AttackOutcome{"batch-proof-truncation", false, "exchange-incomplete"});
+      out.push_back(
+          AttackOutcome{"batch-stale-head", false, "exchange-incomplete"});
+    } else {
+      const ByteVec poc_a = p1.op().poc()->encode();
+      const ByteVec poc_b = p2.op().poc()->encode();
+      const auto roundtrip = [](const core::ReceiptBatch& b) {
+        return core::from_batch_frame(wire::decode_batch_frame(
+            wire::encode_batch_frame(core::to_batch_frame(b, {}))));
+      };
+      const auto make_verifier = [&ctx] {
+        return core::BatchedVerifier{ctx.edge_keys.public_key(),
+                                     ctx.operator_keys.public_key(), ctx.plan};
+      };
+      core::FlushPolicy one_per_batch;
+      one_per_batch.max_batch = 1;
+      one_per_batch.flush_on_cycle_end = false;
+
+      // 7. Chain splice: head #1 claims to descend from genesis (its
+      //    prev_link/link rewritten, which the attacker CAN recompute — but
+      //    chain continuity against the verifier's own state must fail).
+      {
+        core::BatchBuilder builder{ctx.operator_keys,
+                                   core::PartyRole::kCellularOperator,
+                                   one_per_batch};
+        const auto b0 = builder.append_encoded(poc_a, ctx.cycle.index);
+        auto b1 = builder.append_encoded(poc_b, ctx.cycle.index + 1);
+        core::BatchedVerifier verifier = make_verifier();
+        const core::BatchAudit first = verifier.verify_batch(roundtrip(*b0));
+        b1->head.prev_link = crypto::kChainGenesis;
+        b1->head.link = crypto::chain_link(b1->head.prev_link, b1->head.root,
+                                           b1->head.batch_index);
+        const core::BatchAudit spliced = verifier.verify_batch(roundtrip(*b1));
+        const bool rejected =
+            first.head == core::BatchVerifyResult::kOk &&
+            spliced.head == core::BatchVerifyResult::kChainSplice;
+        out.push_back(AttackOutcome{
+            "batch-chain-splice", rejected,
+            std::string{to_string(first.head)} + "+" +
+                to_string(spliced.head)});
+      }
+
+      // 8. Proof truncation: one entry's Merkle path is cut short — that
+      //    entry (and only it) must be refused; the head and its sibling
+      //    stay verifiable.
+      {
+        core::FlushPolicy pair_policy;
+        pair_policy.max_batch = 2;
+        pair_policy.flush_on_cycle_end = false;
+        core::BatchBuilder builder{ctx.operator_keys,
+                                   core::PartyRole::kCellularOperator,
+                                   pair_policy};
+        (void)builder.append_encoded(poc_a, ctx.cycle.index);
+        auto batch = builder.append_encoded(poc_b, ctx.cycle.index + 1);
+        batch->entries[0].proof.path.clear();
+        core::BatchedVerifier verifier = make_verifier();
+        const core::BatchAudit audit = verifier.verify_batch(roundtrip(*batch));
+        const bool rejected =
+            audit.head == core::BatchVerifyResult::kOk &&
+            audit.receipts.size() == 2 &&
+            audit.receipts[0] == core::VerifyResult::kBadInclusionProof &&
+            audit.receipts[1] == core::VerifyResult::kOk;
+        out.push_back(AttackOutcome{
+            "batch-proof-truncation", rejected,
+            std::string{to_string(audit.head)} + ":" +
+                (audit.receipts.empty() ? "no-receipts"
+                                        : to_string(audit.receipts[0]))});
+      }
+
+      // 9. Stale head: replaying an already-accepted batch (signature and
+      //    chain both genuine) must be refused by index monotonicity.
+      {
+        core::BatchBuilder builder{ctx.operator_keys,
+                                   core::PartyRole::kCellularOperator,
+                                   one_per_batch};
+        const auto b0 = builder.append_encoded(poc_a, ctx.cycle.index);
+        const auto b1 = builder.append_encoded(poc_b, ctx.cycle.index + 1);
+        core::BatchedVerifier verifier = make_verifier();
+        const core::BatchAudit first = verifier.verify_batch(roundtrip(*b0));
+        const core::BatchAudit second = verifier.verify_batch(roundtrip(*b1));
+        const core::BatchAudit replayed = verifier.verify_batch(roundtrip(*b0));
+        const bool rejected =
+            first.head == core::BatchVerifyResult::kOk &&
+            second.head == core::BatchVerifyResult::kOk &&
+            replayed.head == core::BatchVerifyResult::kStaleHead;
+        out.push_back(AttackOutcome{
+            "batch-stale-head", rejected,
+            std::string{to_string(first.head)} + "+" +
+                to_string(second.head) + "+" + to_string(replayed.head)});
+      }
+    }
   }
 
   return out;

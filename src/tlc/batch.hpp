@@ -1,0 +1,113 @@
+// Hash-chained receipt batches: sign once per batch, not once per message.
+//
+// Fig. 17 shows per-message RSA dominating Proof-of-Charging cost. A
+// BatchBuilder accumulates finished PoCs, Merkle-hashes their wire bytes,
+// and signs ONE BatchHead committing to the tree root; the head also
+// commits to a hash chain over every preceding head, so a verifier that
+// tracks the chain detects spliced, reordered, or stale heads without
+// revisiting old batches. A single receipt is audited with an O(log n)
+// inclusion proof — Algorithm 2 generalizes: the head signature stands in
+// for the receipt's outer signature, and the embedded CDA/CDR signatures
+// stay available for per-message spot checks.
+//
+// Flush policy: a batch closes when `max_batch` receipts accumulate or —
+// so a cycle's receipts never straddle an audit boundary — when the cycle
+// ends with a partial batch pending (`flush_on_cycle_end`).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/merkle.hpp"
+#include "tlc/messages.hpp"
+#include "wire/batch_frame.hpp"
+
+namespace tlc::core {
+
+/// The once-per-batch signed commitment. The signable image covers every
+/// field including the chain link, so accepting a head pins the entire
+/// head lineage back to genesis.
+struct BatchHead {
+  std::uint64_t batch_index = 0;  // strictly increasing, 0-based
+  std::uint64_t first_cycle = 0;  // cycle of the batch's first receipt
+  std::uint32_t count = 0;        // receipts committed under `root`
+  PartyRole sender = PartyRole::kCellularOperator;
+  crypto::Digest root{};       // Merkle root over receipt leaf digests
+  crypto::Digest prev_link{};  // previous head's link (genesis: zeros)
+  crypto::Digest link{};       // chain_link(prev_link, root, batch_index)
+  ByteVec signature;
+
+  [[nodiscard]] ByteVec encode() const;
+  [[nodiscard]] static BatchHead decode(std::span<const std::uint8_t> data);
+  void sign(const crypto::KeyPair& key);
+  [[nodiscard]] bool verify(const crypto::PublicKey& key) const;
+};
+
+/// One committed receipt: the exact per-message PoC wire bytes plus the
+/// path connecting their leaf digest to the signed root.
+struct BatchEntry {
+  ByteVec poc;  // bit-identical to PocMsg::encode() of the receipt
+  crypto::InclusionProof proof;
+};
+
+struct ReceiptBatch {
+  BatchHead head;
+  std::vector<BatchEntry> entries;
+};
+
+struct FlushPolicy {
+  std::size_t max_batch = 64;
+  bool flush_on_cycle_end = true;
+};
+
+/// Accumulates receipts and emits signed, chained batches per the policy.
+class BatchBuilder {
+ public:
+  BatchBuilder(const crypto::KeyPair& key, PartyRole sender,
+               FlushPolicy policy = {});
+
+  /// Adds one receipt; returns the closed batch when the size policy
+  /// triggers. `cycle` stamps the head of the batch this receipt opens.
+  [[nodiscard]] std::optional<ReceiptBatch> append(const PocMsg& poc,
+                                                   std::uint64_t cycle);
+  [[nodiscard]] std::optional<ReceiptBatch> append_encoded(
+      ByteVec poc_bytes, std::uint64_t cycle);
+
+  /// Cycle boundary: flushes a pending partial batch when the policy says
+  /// cycles must not straddle batches.
+  [[nodiscard]] std::optional<ReceiptBatch> end_cycle();
+
+  /// Unconditionally closes the pending batch (nullopt when empty) — the
+  /// partial final batch at the end of a run.
+  [[nodiscard]] std::optional<ReceiptBatch> flush();
+
+  /// Resumes an interrupted chain: the next closed batch gets
+  /// `next_index` and links from `prev_link` (a reopened durable store
+  /// must continue its archive's chain, not restart at genesis).
+  void resume_chain(std::uint64_t next_index, const crypto::Digest& prev_link);
+
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+  [[nodiscard]] std::uint64_t next_batch_index() const { return next_index_; }
+  [[nodiscard]] const crypto::Digest& last_link() const { return prev_link_; }
+
+ private:
+  const crypto::KeyPair& key_;
+  PartyRole sender_;
+  FlushPolicy policy_;
+  std::vector<ByteVec> pending_;
+  std::vector<crypto::Digest> pending_digests_;
+  std::uint64_t pending_first_cycle_ = 0;
+  std::uint64_t next_index_ = 0;
+  crypto::Digest prev_link_ = crypto::kChainGenesis;
+};
+
+/// Wire bridging. The frame header's trace id propagates the causal
+/// context of the batch's receipts; head bytes and payloads round-trip
+/// bit-exactly through encode_batch_frame/decode_batch_frame.
+[[nodiscard]] wire::BatchFrame to_batch_frame(const ReceiptBatch& batch,
+                                              wire::FrameHeader header);
+/// Throws wire::DecodeError when the embedded head is malformed.
+[[nodiscard]] ReceiptBatch from_batch_frame(const wire::BatchFrame& frame);
+
+}  // namespace tlc::core

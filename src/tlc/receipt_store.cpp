@@ -94,4 +94,117 @@ ReceiptStore::AuditReport ReceiptStore::audit(
   return report;
 }
 
+// ---------------------------------------------------- BatchedReceiptStore
+
+namespace {
+
+constexpr char kBatchFileMagic[8] = {'T', 'L', 'C', 'R', 'C', 'P', 'T', '2'};
+
+}  // namespace
+
+BatchedReceiptStore::BatchedReceiptStore(std::filesystem::path path,
+                                         const crypto::KeyPair& key,
+                                         PartyRole sender, FlushPolicy policy)
+    : path_(std::move(path)), builder_(key, sender, policy) {
+  // Reopening an existing archive continues its hash chain — restarting
+  // at genesis would make the store's own audit report a chain splice on
+  // the first batch appended after the reopen.
+  if (std::filesystem::exists(path_)) {
+    const std::vector<ReceiptBatch> existing = load_all();
+    if (!existing.empty()) {
+      const BatchHead& last = existing.back().head;
+      builder_.resume_chain(last.batch_index + 1, last.link);
+    }
+  }
+}
+
+void BatchedReceiptStore::append(const PocMsg& poc, std::uint64_t cycle) {
+  if (auto batch = builder_.append(poc, cycle)) write_batch(*batch);
+}
+
+void BatchedReceiptStore::end_cycle() {
+  if (auto batch = builder_.end_cycle()) write_batch(*batch);
+}
+
+void BatchedReceiptStore::flush() {
+  if (auto batch = builder_.flush()) write_batch(*batch);
+}
+
+void BatchedReceiptStore::write_batch(const ReceiptBatch& batch) {
+  const bool fresh = !std::filesystem::exists(path_);
+  std::ofstream os{path_, std::ios::binary | std::ios::app};
+  if (!os) {
+    throw std::runtime_error{"BatchedReceiptStore: cannot open " +
+                             path_.string()};
+  }
+  if (fresh) os.write(kBatchFileMagic, sizeof(kBatchFileMagic));
+  // Stored record == wire frame with a zeroed header: the archive holds
+  // exactly the bytes a settlement would transmit.
+  const ByteVec bytes =
+      wire::encode_batch_frame(to_batch_frame(batch, wire::FrameHeader{}));
+  write_u32(os, static_cast<std::uint32_t>(bytes.size()));
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+  if (!os) throw std::runtime_error{"BatchedReceiptStore: write failed"};
+}
+
+std::vector<ReceiptBatch> BatchedReceiptStore::load_all() const {
+  std::vector<ReceiptBatch> out;
+  if (!std::filesystem::exists(path_)) return out;
+  std::ifstream is{path_, std::ios::binary};
+  if (!is) {
+    throw std::runtime_error{"BatchedReceiptStore: cannot open " +
+                             path_.string()};
+  }
+  char magic[sizeof(kBatchFileMagic)];
+  is.read(magic, sizeof(magic));
+  if (!is || !std::equal(std::begin(magic), std::end(magic),
+                         std::begin(kBatchFileMagic))) {
+    throw std::runtime_error{"BatchedReceiptStore: not a batch receipt file"};
+  }
+  while (is.peek() != std::ifstream::traits_type::eof()) {
+    const std::uint32_t len = read_u32(is);
+    ByteVec bytes(len);
+    is.read(reinterpret_cast<char*>(bytes.data()), len);
+    if (!is) throw std::runtime_error{"BatchedReceiptStore: truncated record"};
+    try {
+      out.push_back(from_batch_frame(wire::decode_batch_frame(bytes)));
+    } catch (const wire::DecodeError& e) {
+      throw std::runtime_error{
+          std::string{"BatchedReceiptStore: corrupt record: "} + e.what()};
+    }
+  }
+  return out;
+}
+
+std::size_t BatchedReceiptStore::count() const {
+  std::size_t n = 0;
+  for (const ReceiptBatch& b : load_all()) n += b.entries.size();
+  return n;
+}
+
+BatchedReceiptStore::BatchAuditReport BatchedReceiptStore::audit(
+    BatchedVerifier& verifier) const {
+  BatchAuditReport report;
+  for (const ReceiptBatch& batch : load_all()) {
+    ++report.batches;
+    const BatchAudit audit = verifier.verify_batch(batch);
+    ++report.by_head_result[audit.head];
+    if (audit.head != BatchVerifyResult::kOk) {
+      ++report.heads_rejected;
+      // Entries under a rejected head count as rejected receipts.
+      report.receipts.total += batch.entries.size();
+      report.receipts.rejected += batch.entries.size();
+      continue;
+    }
+    ++report.heads_accepted;
+    report.receipts.total += audit.receipts.size();
+    report.receipts.accepted += audit.accepted;
+    report.receipts.rejected += audit.rejected;
+    report.receipts.total_verified_volume += audit.total_verified_volume;
+    for (const VerifyResult r : audit.receipts) ++report.receipts.by_result[r];
+  }
+  return report;
+}
+
 }  // namespace tlc::core

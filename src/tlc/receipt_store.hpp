@@ -47,4 +47,50 @@ class ReceiptStore {
   std::filesystem::path path_;
 };
 
+/// Batched archive: signed, hash-chained ReceiptBatch records instead of
+/// bare PoCs. Records are serialized wire batch frames (zeroed frame
+/// header), so the on-disk bytes are exactly what crosses the wire.
+/// Audits run through a BatchedVerifier — one RSA check per stored batch.
+class BatchedReceiptStore {
+ public:
+  BatchedReceiptStore(std::filesystem::path path, const crypto::KeyPair& key,
+                      PartyRole sender, FlushPolicy policy = {});
+
+  /// Appends one receipt to the pending batch; writes a batch record when
+  /// the flush policy closes it.
+  void append(const PocMsg& poc, std::uint64_t cycle);
+
+  /// Cycle boundary (see FlushPolicy::flush_on_cycle_end).
+  void end_cycle();
+
+  /// Persists any pending partial batch. Call before auditing.
+  void flush();
+
+  /// Loads every stored batch; throws std::runtime_error on a corrupt or
+  /// foreign file.
+  [[nodiscard]] std::vector<ReceiptBatch> load_all() const;
+
+  /// Receipts across all stored batches.
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+  struct BatchAuditReport {
+    std::uint64_t batches = 0;
+    std::uint64_t heads_accepted = 0;
+    std::uint64_t heads_rejected = 0;
+    std::map<BatchVerifyResult, std::uint64_t> by_head_result;
+    ReceiptStore::AuditReport receipts;
+  };
+
+  /// One pass over the archive: chain order, head signatures, inclusion
+  /// proofs, then the structural Algorithm 2 checks per receipt.
+  [[nodiscard]] BatchAuditReport audit(BatchedVerifier& verifier) const;
+
+ private:
+  void write_batch(const ReceiptBatch& batch);
+
+  std::filesystem::path path_;
+  BatchBuilder builder_;
+};
+
 }  // namespace tlc::core

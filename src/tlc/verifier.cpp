@@ -29,6 +29,26 @@ const char* to_string(VerifyResult r) {
       return "replayed";
     case VerifyResult::kChargeMismatch:
       return "charge-mismatch";
+    case VerifyResult::kBadInclusionProof:
+      return "bad-inclusion-proof";
+  }
+  return "?";
+}
+
+const char* to_string(BatchVerifyResult r) {
+  switch (r) {
+    case BatchVerifyResult::kOk:
+      return "ok";
+    case BatchVerifyResult::kMalformedHead:
+      return "malformed-head";
+    case BatchVerifyResult::kBadHeadSignature:
+      return "bad-head-signature";
+    case BatchVerifyResult::kCountMismatch:
+      return "count-mismatch";
+    case BatchVerifyResult::kChainSplice:
+      return "chain-splice";
+    case BatchVerifyResult::kStaleHead:
+      return "stale-head";
   }
   return "?";
 }
@@ -44,6 +64,17 @@ PublicVerifier::PublicVerifier(crypto::PublicKey edge_key,
 
 VerifyResult PublicVerifier::verify(std::span<const std::uint8_t> poc_bytes,
                                     VerifiedCharge* out) {
+  return verify_impl(poc_bytes, out, /*check_signatures=*/true);
+}
+
+VerifyResult PublicVerifier::verify_committed(
+    std::span<const std::uint8_t> poc_bytes, VerifiedCharge* out) {
+  return verify_impl(poc_bytes, out, /*check_signatures=*/false);
+}
+
+VerifyResult PublicVerifier::verify_impl(
+    std::span<const std::uint8_t> poc_bytes, VerifiedCharge* out,
+    bool check_signatures) {
   const auto reject = [this](VerifyResult r) {
     ++rejected_;
     return r;
@@ -65,17 +96,22 @@ VerifyResult PublicVerifier::verify(std::span<const std::uint8_t> poc_bytes,
     return reject(VerifyResult::kRoleConfusion);
   }
 
-  const auto key_for = [this](PartyRole role) -> const crypto::PublicKey& {
-    return role == PartyRole::kEdgeVendor ? edge_key_ : operator_key_;
-  };
-  if (!poc.verify(key_for(poc.sender))) {
-    return reject(VerifyResult::kBadPocSignature);
-  }
-  if (!cda.verify(key_for(cda.sender))) {
-    return reject(VerifyResult::kBadCdaSignature);
-  }
-  if (!cdr.verify(key_for(cdr.sender))) {
-    return reject(VerifyResult::kBadCdrSignature);
+  // The batched path (verify_committed) skips the three RSA operations:
+  // a verified batch-head signature plus the receipt's inclusion proof
+  // already pin these exact bytes to the signer.
+  if (check_signatures) {
+    const auto key_for = [this](PartyRole role) -> const crypto::PublicKey& {
+      return role == PartyRole::kEdgeVendor ? edge_key_ : operator_key_;
+    };
+    if (!poc.verify(key_for(poc.sender))) {
+      return reject(VerifyResult::kBadPocSignature);
+    }
+    if (!cda.verify(key_for(cda.sender))) {
+      return reject(VerifyResult::kBadCdaSignature);
+    }
+    if (!cdr.verify(key_for(cdr.sender))) {
+      return reject(VerifyResult::kBadCdrSignature);
+    }
   }
 
   // Algorithm 2, line 2: consistent data plan everywhere.
@@ -130,6 +166,138 @@ VerifyResult PublicVerifier::verify(std::span<const std::uint8_t> poc_bytes,
     out->round = static_cast<int>(poc.round);
   }
   return VerifyResult::kOk;
+}
+
+// --------------------------------------------------------- BatchedVerifier
+
+BatchedVerifier::BatchedVerifier(crypto::PublicKey edge_key,
+                                 crypto::PublicKey operator_key,
+                                 charging::DataPlan plan)
+    : edge_key_(edge_key),
+      operator_key_(operator_key),
+      plan_(plan),
+      core_(std::move(edge_key), std::move(operator_key), plan) {}
+
+BatchVerifyResult BatchedVerifier::check_head(
+    const ReceiptBatch& batch) const {
+  const BatchHead& head = batch.head;
+  if (head.count == 0) return BatchVerifyResult::kMalformedHead;
+  if (head.count != batch.entries.size()) {
+    return BatchVerifyResult::kCountMismatch;
+  }
+  // Chain order first: a stale or spliced head must be called out as such
+  // even when its signature is genuine (it IS genuine in a replay).
+  if (head.batch_index < next_index_) return BatchVerifyResult::kStaleHead;
+  if (head.batch_index > next_index_) return BatchVerifyResult::kChainSplice;
+  if (head.prev_link != expected_link_) {
+    return BatchVerifyResult::kChainSplice;
+  }
+  if (head.link !=
+      crypto::chain_link(head.prev_link, head.root, head.batch_index)) {
+    return BatchVerifyResult::kChainSplice;
+  }
+  if (!head.verify(key_for(head.sender))) {
+    return BatchVerifyResult::kBadHeadSignature;
+  }
+  return BatchVerifyResult::kOk;
+}
+
+BatchVerifyResult BatchedVerifier::check_integrity(
+    const ReceiptBatch& batch) const {
+  const BatchVerifyResult head = check_head(batch);
+  if (head != BatchVerifyResult::kOk) return head;
+  for (const BatchEntry& e : batch.entries) {
+    if (e.proof.leaf_count != batch.head.count ||
+        !crypto::verify_inclusion(batch.head.root,
+                                  crypto::leaf_digest(e.poc), e.proof)) {
+      return BatchVerifyResult::kCountMismatch;
+    }
+  }
+  return BatchVerifyResult::kOk;
+}
+
+BatchAudit BatchedVerifier::verify_batch(const ReceiptBatch& batch,
+                                         std::vector<VerifiedCharge>* out) {
+  BatchAudit audit;
+  audit.head = check_head(batch);
+  if (audit.head != BatchVerifyResult::kOk) {
+    ++heads_rejected_;
+    return audit;
+  }
+  ++heads_accepted_;
+  expected_link_ = batch.head.link;
+  next_index_ = batch.head.batch_index + 1;
+
+  // Fast path for a complete in-order batch: rebuild the tree once (n−1
+  // node hashes instead of n·log n across per-entry proofs) and reduce
+  // each carried proof to a digest comparison against the canonical one —
+  // equivalent to verify_inclusion barring a SHA-256 collision. Falls back
+  // to per-entry proof verification when the root disagrees (a tampered
+  // payload) so the audit still names the exact bad entries.
+  bool canonical = batch.entries.size() == batch.head.count;
+  for (std::size_t i = 0; canonical && i < batch.entries.size(); ++i) {
+    canonical = batch.entries[i].proof.leaf_index == i &&
+                batch.entries[i].proof.leaf_count == batch.head.count;
+  }
+  std::optional<crypto::MerkleTree> tree;
+  if (canonical) {
+    std::vector<crypto::Digest> leaves;
+    leaves.reserve(batch.entries.size());
+    for (const BatchEntry& e : batch.entries) {
+      leaves.push_back(crypto::leaf_digest(e.poc));
+    }
+    crypto::MerkleTree rebuilt = crypto::MerkleTree::build(leaves);
+    if (rebuilt.root() == batch.head.root) tree = std::move(rebuilt);
+  }
+
+  audit.receipts.reserve(batch.entries.size());
+  for (std::size_t i = 0; i < batch.entries.size(); ++i) {
+    const BatchEntry& e = batch.entries[i];
+    // The inclusion proof pins the payload bytes to the signed root; only
+    // then do the structural Algorithm 2 checks (sans RSA) run.
+    const bool included =
+        tree.has_value()
+            ? tree->prove(static_cast<std::uint32_t>(i)) == e.proof
+            : (e.proof.leaf_count == batch.head.count &&
+               crypto::verify_inclusion(batch.head.root,
+                                        crypto::leaf_digest(e.poc), e.proof));
+    if (!included) {
+      audit.receipts.push_back(VerifyResult::kBadInclusionProof);
+      ++audit.rejected;
+      continue;
+    }
+    VerifiedCharge charge;
+    const VerifyResult r = core_.verify_committed(e.poc, &charge);
+    audit.receipts.push_back(r);
+    if (r == VerifyResult::kOk) {
+      ++audit.accepted;
+      audit.total_verified_volume += charge.charged;
+      if (out != nullptr) out->push_back(charge);
+    } else {
+      ++audit.rejected;
+    }
+  }
+  return audit;
+}
+
+VerifyResult BatchedVerifier::audit_entry(const ReceiptBatch& batch,
+                                          std::size_t index,
+                                          VerifiedCharge* out) const {
+  if (index >= batch.entries.size()) return VerifyResult::kMalformed;
+  const BatchEntry& e = batch.entries[index];
+  if (!batch.head.verify(key_for(batch.head.sender))) {
+    return VerifyResult::kBadPocSignature;
+  }
+  if (e.proof.leaf_count != batch.head.count ||
+      !crypto::verify_inclusion(batch.head.root, crypto::leaf_digest(e.poc),
+                                e.proof)) {
+    return VerifyResult::kBadInclusionProof;
+  }
+  // Full Algorithm 2 on the contested receipt, replay cache excluded: a
+  // spot audit answers "is this exact receipt committed and valid", not
+  // "have I seen it before".
+  PublicVerifier fresh{edge_key_, operator_key_, plan_};
+  return fresh.verify(e.poc, out);
 }
 
 }  // namespace tlc::core

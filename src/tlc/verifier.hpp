@@ -15,8 +15,10 @@
 #include <cstdint>
 #include <set>
 #include <span>
+#include <vector>
 
 #include "charging/data_plan.hpp"
+#include "tlc/batch.hpp"
 #include "tlc/messages.hpp"
 
 namespace tlc::core {
@@ -33,6 +35,9 @@ enum class VerifyResult : std::uint8_t {
   kNonceMismatch,
   kReplayed,
   kChargeMismatch,
+  /// Batched path only: the receipt's Merkle path does not reach the
+  /// signed root (tampered payload, truncated or padded proof).
+  kBadInclusionProof,
 };
 
 [[nodiscard]] const char* to_string(VerifyResult r);
@@ -57,11 +62,21 @@ class PublicVerifier {
   VerifyResult verify(std::span<const std::uint8_t> poc_bytes,
                       VerifiedCharge* out = nullptr);
 
+  /// Algorithm 2 minus the three RSA checks, for a receipt whose
+  /// authenticity is already pinned by a verified batch-head signature and
+  /// inclusion proof (the BatchedVerifier's amortization). Shares the
+  /// replay cache with the per-message path.
+  VerifyResult verify_committed(std::span<const std::uint8_t> poc_bytes,
+                                VerifiedCharge* out = nullptr);
+
   /// Number of PoCs successfully verified so far.
   [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
   [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
 
  private:
+  VerifyResult verify_impl(std::span<const std::uint8_t> poc_bytes,
+                           VerifiedCharge* out, bool check_signatures);
+
   crypto::PublicKey edge_key_;
   crypto::PublicKey operator_key_;
   charging::DataPlan plan_;
@@ -69,6 +84,87 @@ class PublicVerifier {
   std::set<std::tuple<std::uint64_t, Nonce, Nonce>> seen_;
   std::uint64_t accepted_ = 0;
   std::uint64_t rejected_ = 0;
+};
+
+/// Head-level verdict of one batched verification.
+enum class BatchVerifyResult : std::uint8_t {
+  kOk = 0,
+  kMalformedHead,      // undecodable head bytes or zero receipt count
+  kBadHeadSignature,   // the once-per-batch RSA check failed
+  kCountMismatch,      // head.count disagrees with the presented entries
+  kChainSplice,        // prev_link/link/index break the head lineage
+  kStaleHead,          // a head at or before one already accepted
+};
+
+[[nodiscard]] const char* to_string(BatchVerifyResult r);
+
+/// What one batch verification produced.
+struct BatchAudit {
+  BatchVerifyResult head = BatchVerifyResult::kOk;
+  /// Per-entry verdicts, in batch order; empty when the head was rejected
+  /// (no entry of a rejected head is trustworthy).
+  std::vector<VerifyResult> receipts;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  Bytes total_verified_volume;
+};
+
+/// Batched generalization of Algorithm 2: ONE RSA verification per batch
+/// (the head), then per receipt an O(log n) inclusion proof plus the
+/// plan/role/nonce/replay/recompute checks — the per-message path's three
+/// RSA checks amortize to 1/k. Heads must arrive in chain order; the
+/// verifier tracks the expected link and rejects spliced or stale heads.
+class BatchedVerifier {
+ public:
+  BatchedVerifier(crypto::PublicKey edge_key, crypto::PublicKey operator_key,
+                  charging::DataPlan plan);
+
+  /// Verifies head + chain + every entry; advances the chain state only
+  /// when the head is accepted. `out` (if non-null) receives one
+  /// VerifiedCharge per accepted entry.
+  BatchAudit verify_batch(const ReceiptBatch& batch,
+                          std::vector<VerifiedCharge>* out = nullptr);
+
+  /// Read-only integrity sweep of head signature, chain continuity against
+  /// the current state, and every inclusion proof — the crypto core of
+  /// verify_batch, allocation-free in steady state (the perf-smoke alloc
+  /// test holds it to that). Does not advance the chain or touch the
+  /// replay cache.
+  [[nodiscard]] BatchVerifyResult check_integrity(
+      const ReceiptBatch& batch) const;
+
+  /// Single-receipt spot audit: inclusion proof + head signature + the
+  /// FULL Algorithm 2 (all three RSA checks) on entry `index` — the
+  /// O(log n) dispute path for one contested receipt. Independent of the
+  /// replay cache.
+  [[nodiscard]] VerifyResult audit_entry(const ReceiptBatch& batch,
+                                         std::size_t index,
+                                         VerifiedCharge* out = nullptr) const;
+
+  [[nodiscard]] std::uint64_t heads_accepted() const {
+    return heads_accepted_;
+  }
+  [[nodiscard]] std::uint64_t heads_rejected() const {
+    return heads_rejected_;
+  }
+  [[nodiscard]] std::uint64_t next_batch_index() const { return next_index_; }
+
+ private:
+  [[nodiscard]] const crypto::PublicKey& key_for(PartyRole role) const {
+    return role == PartyRole::kEdgeVendor ? edge_key_ : operator_key_;
+  }
+  [[nodiscard]] BatchVerifyResult check_head(const ReceiptBatch& batch) const;
+
+  crypto::PublicKey edge_key_;
+  crypto::PublicKey operator_key_;
+  charging::DataPlan plan_;
+  /// Structural checks + replay cache, shared with the per-message path's
+  /// semantics.
+  PublicVerifier core_;
+  crypto::Digest expected_link_ = crypto::kChainGenesis;
+  std::uint64_t next_index_ = 0;
+  std::uint64_t heads_accepted_ = 0;
+  std::uint64_t heads_rejected_ = 0;
 };
 
 }  // namespace tlc::core

@@ -1,0 +1,68 @@
+#include "wire/batch_frame.hpp"
+
+#include "wire/codec.hpp"
+
+namespace tlc::wire {
+
+ByteVec encode_batch_frame(const BatchFrame& frame) {
+  Writer w;
+  std::size_t entry_bytes = 0;
+  for (const BatchFrameEntry& e : frame.entries) {
+    entry_bytes += 4 + e.payload.size() + 4 + 4 + 1 + 32 * e.path.size();
+  }
+  w.reserve(kFrameOverhead + frame.head.size() + 4 + entry_bytes);
+  w.u32(kBatchFrameMagic);
+  w.u8(kBatchFrameVersion);
+  w.u8(frame.header.attempt);
+  w.u64(frame.header.trace_id);
+  w.u64(frame.header.span_id);
+  w.bytes(frame.head);
+  w.u32(static_cast<std::uint32_t>(frame.entries.size()));
+  for (const BatchFrameEntry& e : frame.entries) {
+    w.bytes(e.payload);
+    w.u32(e.leaf_index);
+    w.u32(e.leaf_count);
+    w.u8(static_cast<std::uint8_t>(e.path.size()));
+    for (const Digest32& d : e.path) w.raw(d);
+  }
+  return w.take();
+}
+
+BatchFrame decode_batch_frame(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  if (r.u32() != kBatchFrameMagic) {
+    throw DecodeError{"batch-frame: bad magic"};
+  }
+  if (r.u8() != kBatchFrameVersion) {
+    throw DecodeError{"batch-frame: unknown version"};
+  }
+  BatchFrame f;
+  f.header.attempt = r.u8();
+  f.header.trace_id = r.u64();
+  f.header.span_id = r.u64();
+  f.head = r.bytes();
+  const std::uint32_t count = r.u32();
+  f.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    BatchFrameEntry e;
+    e.payload = r.bytes();
+    e.leaf_index = r.u32();
+    e.leaf_count = r.u32();
+    const std::uint8_t path_len = r.u8();
+    if (path_len > kMaxProofPath) {
+      throw DecodeError{"batch-frame: oversized proof path"};
+    }
+    e.path.reserve(path_len);
+    for (std::uint8_t j = 0; j < path_len; ++j) {
+      const ByteVec raw = r.raw(32);
+      Digest32 d{};
+      std::copy(raw.begin(), raw.end(), d.begin());
+      e.path.push_back(d);
+    }
+    f.entries.push_back(std::move(e));
+  }
+  r.expect_end();
+  return f;
+}
+
+}  // namespace tlc::wire

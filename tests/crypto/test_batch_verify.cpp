@@ -1,0 +1,106 @@
+// Amortized signature checking (crypto/signer.hpp): verify_digest and
+// verify_batch against the per-message primitives, the cached signature
+// size, and the once-per-pair public-key derivation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/keys.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signer.hpp"
+
+namespace tlc::crypto {
+namespace {
+
+class BatchVerifyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    if (key_ == nullptr) {
+      key_ = new KeyPair{KeyPair::generate(KeyStrength::kRsa1024)};
+      other_ = new KeyPair{KeyPair::generate(KeyStrength::kRsa1024)};
+    }
+  }
+  static const KeyPair& key() { return *key_; }
+  static const KeyPair& other() { return *other_; }
+
+  static ByteVec message(int i) {
+    const std::string s = "batched-receipt-" + std::to_string(i);
+    return ByteVec(s.begin(), s.end());
+  }
+
+ private:
+  static KeyPair* key_;
+  static KeyPair* other_;
+};
+
+KeyPair* BatchVerifyTest::key_ = nullptr;
+KeyPair* BatchVerifyTest::other_ = nullptr;
+
+TEST_F(BatchVerifyTest, VerifyDigestMatchesVerify) {
+  const ByteVec msg = message(0);
+  const ByteVec sig = sign(key(), msg);
+  EXPECT_TRUE(verify(key().public_key(), msg, sig));
+  EXPECT_TRUE(verify_digest(key().public_key(), sha256(msg), sig));
+  // Wrong digest, wrong key, damaged signature: all false, no throw.
+  EXPECT_FALSE(verify_digest(key().public_key(), sha256(message(1)), sig));
+  EXPECT_FALSE(verify_digest(other().public_key(), sha256(msg), sig));
+  ByteVec bad = sig;
+  bad[10] ^= 0x01;
+  EXPECT_FALSE(verify_digest(key().public_key(), sha256(msg), bad));
+}
+
+TEST_F(BatchVerifyTest, VerifyBatchCountsAndFlagsEachItem) {
+  std::vector<ByteVec> msgs;
+  std::vector<ByteVec> sigs;
+  for (int i = 0; i < 8; ++i) {
+    msgs.push_back(message(i));
+    sigs.push_back(sign(key(), msgs.back()));
+  }
+  sigs[3][0] ^= 0xFF;                 // corrupt one signature
+  msgs[6].push_back(0x00);            // tamper one message
+  std::vector<VerifyItem> items;
+  for (int i = 0; i < 8; ++i) items.push_back(VerifyItem{msgs[i], sigs[i]});
+
+  std::vector<std::uint8_t> flags;
+  EXPECT_EQ(verify_batch(key().public_key(), items, &flags), 6u);
+  ASSERT_EQ(flags.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(flags[i], (i == 3 || i == 6) ? 0 : 1) << "item " << i;
+  }
+  // Without the flags vector, just the count.
+  EXPECT_EQ(verify_batch(key().public_key(), items), 6u);
+}
+
+TEST_F(BatchVerifyTest, VerifyBatchEmptyIsZero) {
+  EXPECT_EQ(verify_batch(key().public_key(), {}), 0u);
+}
+
+TEST_F(BatchVerifyTest, CachedContextSurvivesReset) {
+  const ByteVec msg = message(42);
+  const ByteVec sig = sign(key(), msg);
+  EXPECT_TRUE(verify(key().public_key(), msg, sig));
+  reset_signer_caches();  // drop this thread's contexts mid-session
+  EXPECT_TRUE(verify(key().public_key(), msg, sig));
+  EXPECT_TRUE(verify_digest(key().public_key(), sha256(msg), sig));
+}
+
+TEST_F(BatchVerifyTest, SignatureSizeIsModulusSize) {
+  EXPECT_EQ(key().signature_size(), 128u);  // RSA-1024
+  const ByteVec sig = sign(key(), message(7));
+  EXPECT_EQ(sig.size(), key().signature_size());
+}
+
+TEST_F(BatchVerifyTest, PublicKeyIsCachedPerPair) {
+  // public_key() returns the pair's one derived handle: same object every
+  // call, equal to (but distinct from) an explicit DER round-trip.
+  const PublicKey& a = key().public_key();
+  const PublicKey& b = key().public_key();
+  EXPECT_EQ(&a, &b);
+  const PublicKey fresh = PublicKey::from_der(a.to_der());
+  EXPECT_TRUE(fresh == a);
+  EXPECT_FALSE(other().public_key() == a);
+}
+
+}  // namespace
+}  // namespace tlc::crypto

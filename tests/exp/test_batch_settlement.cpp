@@ -1,0 +1,99 @@
+// Batched receipt auditing in scenarios (ScenarioConfig::poc_batch_size):
+// the post-run audit must be present and clean when enabled, absent when
+// not, seed-deterministic, conserved against the settlement outcomes, and
+// a pure post-run computation — cycle and settlement outcomes are
+// byte-identical at any batch size.
+#include <gtest/gtest.h>
+
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+
+namespace tlc::exp {
+namespace {
+
+ScenarioConfig batched_config(std::size_t batch_size,
+                              std::uint64_t seed = 21) {
+  ScenarioConfig cfg;
+  cfg.app = AppKind::kWebcamUdp;
+  cfg.cycles = 3;
+  cfg.cycle_length = std::chrono::seconds{30};
+  cfg.seed = seed;
+  cfg.wire_settlement = true;
+  cfg.poc_batch_size = batch_size;
+  return cfg;
+}
+
+TEST(BatchSettlement, AuditPresentCleanAndConserved) {
+  const ScenarioResult result = run_scenario(batched_config(2));
+  ASSERT_TRUE(result.batch_audit.has_value());
+  const BatchAuditSummary& audit = *result.batch_audit;
+  EXPECT_EQ(audit.batch_size, 2u);
+  EXPECT_EQ(audit.heads_rejected, 0u);
+  EXPECT_EQ(audit.receipts_rejected, 0u);
+
+  std::uint64_t completed = 0;
+  Bytes volume{0};
+  for (const SettlementOutcome& s : result.settlements) {
+    if (!s.completed) continue;
+    ++completed;
+    volume += s.charged;
+  }
+  EXPECT_EQ(audit.receipts_total, completed);
+  EXPECT_EQ(audit.receipts_accepted, completed);
+  EXPECT_EQ(audit.total_verified_volume, volume);
+  // 3 receipts in batches of 2: one full batch plus the partial final one.
+  EXPECT_EQ(audit.batches, (completed + 1) / 2);
+  EXPECT_EQ(audit.heads_accepted, audit.batches);
+}
+
+TEST(BatchSettlement, AuditAbsentUnlessEnabled) {
+  ScenarioConfig off = batched_config(0);
+  EXPECT_FALSE(run_scenario(off).batch_audit.has_value());
+
+  ScenarioConfig no_wire = batched_config(4);
+  no_wire.wire_settlement = false;
+  EXPECT_FALSE(run_scenario(no_wire).batch_audit.has_value());
+}
+
+TEST(BatchSettlement, FingerprintIsSeedDeterministic) {
+  const ScenarioResult a = run_scenario(batched_config(2, 33));
+  const ScenarioResult b = run_scenario(batched_config(2, 33));
+  EXPECT_EQ(result_fingerprint(a), result_fingerprint(b));
+  // The audit line is part of the fingerprint: a different batch size is
+  // a different (still deterministic) fingerprint.
+  const ScenarioResult c = run_scenario(batched_config(64, 33));
+  EXPECT_NE(result_fingerprint(a), result_fingerprint(c));
+}
+
+TEST(BatchSettlement, AuditIsAPurePostRunComputation) {
+  // Everything the run itself produced — cycle outcomes, settlements,
+  // metrics — is byte-identical whether batching is off, 1, or 64; only
+  // the audit summary differs.
+  const ScenarioResult off = run_scenario(batched_config(0));
+  const ScenarioResult one = run_scenario(batched_config(1));
+  const ScenarioResult big = run_scenario(batched_config(64));
+
+  for (const ScenarioResult* r : {&one, &big}) {
+    ASSERT_EQ(r->settlements.size(), off.settlements.size());
+    for (std::size_t i = 0; i < off.settlements.size(); ++i) {
+      EXPECT_EQ(r->settlements[i].trace_id, off.settlements[i].trace_id);
+      EXPECT_EQ(r->settlements[i].charged, off.settlements[i].charged);
+      EXPECT_EQ(r->settlements[i].rounds, off.settlements[i].rounds);
+    }
+    ASSERT_EQ(r->cycles.size(), off.cycles.size());
+    for (std::size_t i = 0; i < off.cycles.size(); ++i) {
+      EXPECT_EQ(r->cycles[i].correct, off.cycles[i].correct);
+      EXPECT_EQ(r->cycles[i].legacy, off.cycles[i].legacy);
+    }
+    EXPECT_EQ(r->metrics.to_json(), off.metrics.to_json());
+  }
+
+  // At batch size 1 every receipt is its own batch.
+  ASSERT_TRUE(one.batch_audit.has_value());
+  EXPECT_EQ(one.batch_audit->batches, one.batch_audit->receipts_total);
+  ASSERT_TRUE(big.batch_audit.has_value());
+  EXPECT_EQ(big.batch_audit->batches, 1u);
+}
+
+}  // namespace
+}  // namespace tlc::exp

@@ -1,0 +1,91 @@
+// The batched-receipt attack probes (fault/wire_attacks.cpp): chain
+// splice, proof truncation, and stale-head replay must all be rejected,
+// and the probe list must be deterministic for a fixed rng state.
+#include "fault/wire_attacks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "charging/data_plan.hpp"
+
+namespace tlc::fault {
+namespace {
+
+class BatchAttackTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    if (edge_keys_ == nullptr) {
+      edge_keys_ = new crypto::KeyPair{
+          crypto::KeyPair::generate(crypto::KeyStrength::kRsa1024)};
+      operator_keys_ = new crypto::KeyPair{
+          crypto::KeyPair::generate(crypto::KeyStrength::kRsa1024)};
+    }
+  }
+
+  static WireAttackContext context() {
+    const charging::DataPlan plan{0.5, std::chrono::seconds{300}};
+    return WireAttackContext{
+        *edge_keys_,
+        *operator_keys_,
+        plan,
+        plan.cycle_at(kTimeZero + plan.cycle_length * 3),
+        charging::Direction::kUplink,
+        core::LocalView{Bytes{1'000'000}, Bytes{920'000}},
+        core::LocalView{Bytes{1'000'000}, Bytes{920'000}}};
+  }
+
+  static const AttackOutcome* find(const std::vector<AttackOutcome>& out,
+                                   const std::string& name) {
+    const auto it = std::find_if(
+        out.begin(), out.end(),
+        [&](const AttackOutcome& a) { return a.attack == name; });
+    return it == out.end() ? nullptr : &*it;
+  }
+
+ private:
+  static crypto::KeyPair* edge_keys_;
+  static crypto::KeyPair* operator_keys_;
+};
+
+crypto::KeyPair* BatchAttackTest::edge_keys_ = nullptr;
+crypto::KeyPair* BatchAttackTest::operator_keys_ = nullptr;
+
+TEST_F(BatchAttackTest, SuiteIncludesTheBatchProbes) {
+  Rng rng{1234};
+  const std::vector<AttackOutcome> out = run_wire_attacks(context(), rng);
+  EXPECT_EQ(out.size(), 9u);
+  for (const char* name :
+       {"batch-chain-splice", "batch-proof-truncation", "batch-stale-head"}) {
+    ASSERT_NE(find(out, name), nullptr) << name;
+  }
+}
+
+TEST_F(BatchAttackTest, EveryBatchProbeIsRejected) {
+  Rng rng{1234};
+  const std::vector<AttackOutcome> out = run_wire_attacks(context(), rng);
+  for (const char* name :
+       {"batch-chain-splice", "batch-proof-truncation", "batch-stale-head"}) {
+    const AttackOutcome* a = find(out, name);
+    ASSERT_NE(a, nullptr) << name;
+    EXPECT_TRUE(a->rejected) << name << ": " << a->detail;
+    EXPECT_NE(a->detail, "exchange-incomplete") << name;
+  }
+}
+
+TEST_F(BatchAttackTest, OutcomesAreDeterministicForAFixedRngState) {
+  Rng rng_a{77};
+  Rng rng_b{77};
+  const std::vector<AttackOutcome> a = run_wire_attacks(context(), rng_a);
+  const std::vector<AttackOutcome> b = run_wire_attacks(context(), rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].attack, b[i].attack);
+    EXPECT_EQ(a[i].rejected, b[i].rejected);
+    EXPECT_EQ(a[i].detail, b[i].detail);
+  }
+}
+
+}  // namespace
+}  // namespace tlc::fault

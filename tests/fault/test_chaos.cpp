@@ -35,7 +35,7 @@ TEST(Chaos, ReportIsDeterministicAcrossRunsAndJobCounts) {
 TEST(Chaos, EveryPlanRunsTheFullAttackSuite) {
   const ChaosReport report = run_chaos(small(2));
   for (const PlanOutcome& o : report.outcomes) {
-    EXPECT_EQ(o.attacks.size(), 6u) << "plan " << o.plan.id;
+    EXPECT_EQ(o.attacks.size(), 9u) << "plan " << o.plan.id;
     for (const AttackOutcome& a : o.attacks) {
       EXPECT_TRUE(a.rejected)
           << "plan " << o.plan.id << " attack " << a.attack << ": "

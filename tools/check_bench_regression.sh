@@ -5,12 +5,13 @@
 # CI runners are noisy shared machines, so this is advisory; a hard gate
 # would flake. Sustained warnings across pushes are the real signal.
 #
-#   tools/check_bench_regression.sh NEW_sched.json NEW_sweep.json
+#   tools/check_bench_regression.sh NEW_sched.json NEW_sweep.json [NEW_poc_batch.json]
 set -eu
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 new_sched="${1:-}"
 new_sweep="${2:-}"
+new_poc_batch="${3:-}"
 
 # compare FILE BASELINE KEY — prints a warning when new < 0.8 * baseline.
 compare() {
@@ -41,6 +42,12 @@ fi
 if [ -n "$new_sweep" ] && [ -f "$new_sweep" ]; then
   compare "$new_sweep" "$repo_root/BENCH_sweep.json" \
     "parallel_events_per_sec"
+fi
+if [ -n "$new_poc_batch" ] && [ -f "$new_poc_batch" ]; then
+  compare "$new_poc_batch" "$repo_root/BENCH_poc_batch.json" \
+    "batch64_pocs_per_sec"
+  compare "$new_poc_batch" "$repo_root/BENCH_poc_batch.json" \
+    "per_message_pocs_per_sec"
 fi
 
 if [ "$warned" = "1" ]; then

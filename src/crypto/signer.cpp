@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/hot.hpp"
+
 namespace tlc::crypto {
 namespace {
 
@@ -90,7 +92,7 @@ EVP_PKEY_CTX* sign_ctx_for(const KeyPair& key) {
   });
 }
 
-bool verify_digest_with(EVP_PKEY_CTX* ctx, const Digest& digest,
+TLC_HOT bool verify_digest_with(EVP_PKEY_CTX* ctx, const Digest& digest,
                         std::span<const std::uint8_t> signature) {
   return EVP_PKEY_verify(ctx, signature.data(), signature.size(),
                          digest.data(), digest.size()) == 1;
@@ -112,21 +114,24 @@ ByteVec sign(const KeyPair& key, std::span<const std::uint8_t> message) {
   return sig;
 }
 
-bool verify(const PublicKey& key, std::span<const std::uint8_t> message,
+TLC_HOT bool verify(const PublicKey& key, std::span<const std::uint8_t> message,
             std::span<const std::uint8_t> signature) {
+  // tlc-lint: allow(hot-path-alloc): empty-key precondition, cold
   if (!key.valid()) throw std::logic_error{"verify: empty public key"};
   return verify_digest_with(verify_ctx_for(key), sha256(message), signature);
 }
 
-bool verify_digest(const PublicKey& key, const Digest& digest,
+TLC_HOT bool verify_digest(const PublicKey& key, const Digest& digest,
                    std::span<const std::uint8_t> signature) {
+  // tlc-lint: allow(hot-path-alloc): empty-key precondition, cold
   if (!key.valid()) throw std::logic_error{"verify_digest: empty public key"};
   return verify_digest_with(verify_ctx_for(key), digest, signature);
 }
 
-std::size_t verify_batch(const PublicKey& key,
+TLC_HOT std::size_t verify_batch(const PublicKey& key,
                          std::span<const VerifyItem> items,
                          std::vector<std::uint8_t>* results) {
+  // tlc-lint: allow(hot-path-alloc): empty-key precondition, cold
   if (!key.valid()) throw std::logic_error{"verify_batch: empty public key"};
   EVP_PKEY_CTX* ctx = verify_ctx_for(key);
   if (results != nullptr) {

@@ -30,6 +30,8 @@ std::uint64_t mix_seed(std::uint64_t seed, double background_mbps,
 
 int resolve_jobs(int requested) {
   if (requested > 0) return requested;
+  // tlc-lint: allow(determinism): operator knob for worker-pool width only —
+  // sweep results are byte-identical at any job count (test_sweep proves it)
   if (const char* env = std::getenv("TLC_JOBS")) {
     char* end = nullptr;
     const long v = std::strtol(env, &end, 10);

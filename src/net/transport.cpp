@@ -35,9 +35,14 @@ void ArqSender::transmit(std::uint64_t app_seq) {
   }
   Packet copy = p.packet;
   copy.is_retransmission = p.attempts > 1;
-  send_(std::move(copy));
+  // Arm the timer before handing the packet out: send_ may deliver an ack
+  // synchronously, and on_ack erases this pending_ entry — `p` must not be
+  // touched after the callback. The deadline is identical either way (the
+  // sim clock cannot advance inside the callback), and on_ack cancels the
+  // timer it finds armed.
   p.timer = sched_.schedule_after(config_.rto,
                                   [this, app_seq] { on_timeout(app_seq); });
+  send_(std::move(copy));
 }
 
 void ArqSender::on_timeout(std::uint64_t app_seq) {

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/hot.hpp"
+
 namespace tlc::sim {
 namespace {
 
@@ -67,8 +69,10 @@ void Scheduler::pop_front_entry() {
   if (!heap_.empty()) sift_down(0);
 }
 
-EventId Scheduler::schedule_at(TimePoint when, InlineCallback fn) {
+TLC_HOT EventId Scheduler::schedule_at(TimePoint when, InlineCallback fn) {
   if (when < now_) {
+    // tlc-lint: allow(hot-path-alloc): precondition guard, never taken by a
+    // correct caller; the steady-state path below is allocation-free
     throw std::invalid_argument{"Scheduler::schedule_at: time in the past"};
   }
   const std::uint32_t index = acquire_slot();
@@ -85,14 +89,16 @@ EventId Scheduler::schedule_at(TimePoint when, InlineCallback fn) {
   return make_id(index, slot.generation);
 }
 
-EventId Scheduler::schedule_after(Duration delay, InlineCallback fn) {
+TLC_HOT EventId Scheduler::schedule_after(Duration delay, InlineCallback fn) {
   if (delay < Duration::zero()) {
+    // tlc-lint: allow(hot-path-alloc): precondition guard, never taken by a
+    // correct caller
     throw std::invalid_argument{"Scheduler::schedule_after: negative delay"};
   }
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-void Scheduler::cancel(EventId id) {
+TLC_HOT void Scheduler::cancel(EventId id) {
   const auto index = static_cast<std::uint32_t>(id >> 32);
   const auto generation = static_cast<std::uint32_t>(id);
   if (index >= slots_.size()) return;
@@ -107,7 +113,7 @@ void Scheduler::cancel(EventId id) {
   if (m_cancelled_ != nullptr) m_cancelled_->inc();
 }
 
-bool Scheduler::step() {
+TLC_HOT bool Scheduler::step() {
   while (!heap_.empty()) {
     const HeapEntry top = heap_.front();
     pop_front_entry();

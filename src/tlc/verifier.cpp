@@ -1,6 +1,7 @@
 #include "tlc/verifier.hpp"
 
 #include "charging/usage.hpp"
+#include "common/hot.hpp"
 #include "wire/codec.hpp"
 
 namespace tlc::core {
@@ -178,7 +179,7 @@ BatchedVerifier::BatchedVerifier(crypto::PublicKey edge_key,
       plan_(plan),
       core_(std::move(edge_key), std::move(operator_key), plan) {}
 
-BatchVerifyResult BatchedVerifier::check_head(
+TLC_HOT BatchVerifyResult BatchedVerifier::check_head(
     const ReceiptBatch& batch) const {
   const BatchHead& head = batch.head;
   if (head.count == 0) return BatchVerifyResult::kMalformedHead;
@@ -202,7 +203,7 @@ BatchVerifyResult BatchedVerifier::check_head(
   return BatchVerifyResult::kOk;
 }
 
-BatchVerifyResult BatchedVerifier::check_integrity(
+TLC_HOT BatchVerifyResult BatchedVerifier::check_integrity(
     const ReceiptBatch& batch) const {
   const BatchVerifyResult head = check_head(batch);
   if (head != BatchVerifyResult::kOk) return head;

@@ -2,9 +2,11 @@
 
 #include "wire/codec.hpp"
 
+#include "common/hot.hpp"
+
 namespace tlc::wire {
 
-ByteVec encode_batch_frame(const BatchFrame& frame) {
+TLC_HOT ByteVec encode_batch_frame(const BatchFrame& frame) {
   Writer w;
   std::size_t entry_bytes = 0;
   for (const BatchFrameEntry& e : frame.entries) {
@@ -28,12 +30,14 @@ ByteVec encode_batch_frame(const BatchFrame& frame) {
   return w.take();
 }
 
-BatchFrame decode_batch_frame(std::span<const std::uint8_t> data) {
+TLC_HOT BatchFrame decode_batch_frame(std::span<const std::uint8_t> data) {
   Reader r{data};
   if (r.u32() != kBatchFrameMagic) {
+    // tlc-lint: allow(hot-path-alloc): reject path for tampered frames
     throw DecodeError{"batch-frame: bad magic"};
   }
   if (r.u8() != kBatchFrameVersion) {
+    // tlc-lint: allow(hot-path-alloc): reject path for tampered frames
     throw DecodeError{"batch-frame: unknown version"};
   }
   BatchFrame f;
@@ -50,6 +54,7 @@ BatchFrame decode_batch_frame(std::span<const std::uint8_t> data) {
     e.leaf_count = r.u32();
     const std::uint8_t path_len = r.u8();
     if (path_len > kMaxProofPath) {
+      // tlc-lint: allow(hot-path-alloc): reject path for tampered frames
       throw DecodeError{"batch-frame: oversized proof path"};
     }
     e.path.reserve(path_len);

@@ -4,85 +4,91 @@
 #include <cstring>
 #include <limits>
 
+#include "common/hot.hpp"
+
 namespace tlc::wire {
 
-void Writer::u8(std::uint8_t v) { buf_.push_back(v); }
+TLC_HOT void Writer::u8(std::uint8_t v) { buf_.push_back(v); }
 
-void Writer::u16(std::uint16_t v) {
+TLC_HOT void Writer::u16(std::uint16_t v) {
   u8(static_cast<std::uint8_t>(v >> 8));
   u8(static_cast<std::uint8_t>(v));
 }
 
-void Writer::u32(std::uint32_t v) {
+TLC_HOT void Writer::u32(std::uint32_t v) {
   u16(static_cast<std::uint16_t>(v >> 16));
   u16(static_cast<std::uint16_t>(v));
 }
 
-void Writer::u64(std::uint64_t v) {
+TLC_HOT void Writer::u64(std::uint64_t v) {
   u32(static_cast<std::uint32_t>(v >> 32));
   u32(static_cast<std::uint32_t>(v));
 }
 
-void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+TLC_HOT void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
 
-void Writer::bytes(std::span<const std::uint8_t> data) {
+TLC_HOT void Writer::bytes(std::span<const std::uint8_t> data) {
   if (data.size() > std::numeric_limits<std::uint32_t>::max()) {
+    // tlc-lint: allow(hot-path-alloc): cold guard — charging messages are
+    // hundreds of bytes, a >4 GiB field is a caller bug
     throw std::length_error{"Writer::bytes: field too large"};
   }
   u32(static_cast<std::uint32_t>(data.size()));
   raw(data);
 }
 
-void Writer::string(std::string_view s) {
+TLC_HOT void Writer::string(std::string_view s) {
   bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
 }
 
-void Writer::raw(std::span<const std::uint8_t> data) {
+TLC_HOT void Writer::raw(std::span<const std::uint8_t> data) {
   buf_.insert(buf_.end(), data.begin(), data.end());
 }
 
-void Reader::need(std::size_t n) const {
+TLC_HOT void Reader::need(std::size_t n) const {
   if (remaining() < n) {
+    // tlc-lint: allow(hot-path-alloc): DecodeError is the protocol's reject
+    // path — never taken for well-formed frames
     throw DecodeError{"Reader: truncated message"};
   }
 }
 
-std::uint8_t Reader::u8() {
+TLC_HOT std::uint8_t Reader::u8() {
   need(1);
   return data_[pos_++];
 }
 
-std::uint16_t Reader::u16() {
+TLC_HOT std::uint16_t Reader::u16() {
   const auto hi = static_cast<std::uint16_t>(u8());
   const auto lo = static_cast<std::uint16_t>(u8());
   return static_cast<std::uint16_t>((hi << 8) | lo);
 }
 
-std::uint32_t Reader::u32() {
+TLC_HOT std::uint32_t Reader::u32() {
   const auto hi = static_cast<std::uint32_t>(u16());
   const auto lo = static_cast<std::uint32_t>(u16());
   return (hi << 16) | lo;
 }
 
-std::uint64_t Reader::u64() {
+TLC_HOT std::uint64_t Reader::u64() {
   const auto hi = static_cast<std::uint64_t>(u32());
   const auto lo = static_cast<std::uint64_t>(u32());
   return (hi << 32) | lo;
 }
 
-double Reader::f64() { return std::bit_cast<double>(u64()); }
+TLC_HOT double Reader::f64() { return std::bit_cast<double>(u64()); }
 
-ByteVec Reader::bytes() {
+TLC_HOT ByteVec Reader::bytes() {
   const std::uint32_t len = u32();
   return raw(len);
 }
 
-std::string Reader::string() {
+TLC_HOT std::string Reader::string() {
   const ByteVec b = bytes();
   return {b.begin(), b.end()};
 }
 
-ByteVec Reader::raw(std::size_t n) {
+TLC_HOT ByteVec Reader::raw(std::size_t n) {
   need(n);
   ByteVec out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
               data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
@@ -90,8 +96,10 @@ ByteVec Reader::raw(std::size_t n) {
   return out;
 }
 
-void Reader::expect_end() const {
+TLC_HOT void Reader::expect_end() const {
   if (!at_end()) {
+    // tlc-lint: allow(hot-path-alloc): DecodeError is the protocol's reject
+    // path — never taken for well-formed frames
     throw DecodeError{"Reader: trailing bytes after message"};
   }
 }

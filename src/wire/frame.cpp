@@ -2,9 +2,11 @@
 
 #include "wire/codec.hpp"
 
+#include "common/hot.hpp"
+
 namespace tlc::wire {
 
-ByteVec encode_frame(const FrameHeader& header,
+TLC_HOT ByteVec encode_frame(const FrameHeader& header,
                      std::span<const std::uint8_t> payload) {
   Writer w;
   w.reserve(kFrameOverhead + payload.size());
@@ -17,12 +19,14 @@ ByteVec encode_frame(const FrameHeader& header,
   return w.take();
 }
 
-Frame decode_frame(std::span<const std::uint8_t> data) {
+TLC_HOT Frame decode_frame(std::span<const std::uint8_t> data) {
   Reader r{data};
   if (r.u32() != kFrameMagic) {
+    // tlc-lint: allow(hot-path-alloc): reject path for tampered frames
     throw DecodeError{"frame: bad magic"};
   }
   if (r.u8() != kFrameVersion) {
+    // tlc-lint: allow(hot-path-alloc): reject path for tampered frames
     throw DecodeError{"frame: unknown version"};
   }
   Frame f;

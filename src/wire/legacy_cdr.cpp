@@ -39,6 +39,8 @@ std::uint32_t get_u24(Reader& r) {
 std::string format_time(std::uint32_t unix_seconds) {
   const auto t = static_cast<std::time_t>(unix_seconds);
   std::tm tm_utc{};
+  // tlc-lint: allow(determinism): converts a *simulated* timestamp to UTC
+  // fields — gmtime_r is a pure function of its input, unlike localtime
   gmtime_r(&t, &tm_utc);
   char buf[32];
   std::strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M:%S", &tm_utc);

@@ -1,0 +1,17 @@
+// Malformed allow-escape fixture: a reason-less escape and an escape naming
+// an unknown rule. Both must be reported as allow-syntax findings, and the
+// violations they fail to cover must stay blocking.
+#include <cstdlib>
+
+namespace tlc::sim {
+
+int missing_reason() {
+  // tlc-lint: allow(determinism)
+  return std::rand();
+}
+
+int unknown_rule() {
+  return std::rand();  // tlc-lint: allow(no-such-rule): rule id is misspelled
+}
+
+}  // namespace tlc::sim

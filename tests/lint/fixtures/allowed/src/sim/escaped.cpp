@@ -1,0 +1,25 @@
+// Allow-escape round-trip fixture: every violation below carries a valid
+// allow escape with a reason, so the default run must be clean (exit 0) and
+// --verbose must surface each escape with its reason.
+#include <cstdlib>
+
+#include "common/hot.hpp"
+
+namespace tlc::sim {
+
+int jobs_from_env() {
+  // tlc-lint: allow(determinism): fixture — standalone escape covers the
+  // next code line
+  return std::getenv("TLC_JOBS") != nullptr ? 1 : 0;
+}
+
+int seeded() {
+  return std::rand();  // tlc-lint: allow(determinism): fixture — trailing escape
+}
+
+TLC_HOT void guarded(bool bad) {
+  // tlc-lint: allow(hot-path-alloc): fixture — cold precondition guard
+  if (bad) throw 1;
+}
+
+}  // namespace tlc::sim

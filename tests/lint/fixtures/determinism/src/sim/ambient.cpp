@@ -1,0 +1,52 @@
+// Seeded determinism violations for the tlc_lint fixture suite. This file is
+// lexed by the lint tests, never compiled — each construct below must produce
+// exactly one finding in ../expected.txt.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <iostream>
+#include <random>
+#include <unordered_map>
+
+namespace tlc::sim {
+
+long wall_clock_now() {
+  const auto t = std::chrono::system_clock::now();
+  return std::chrono::duration_cast<std::chrono::seconds>(t.time_since_epoch())
+      .count();
+}
+
+long libc_clock() { return std::time(nullptr); }
+
+int libc_entropy() { return std::rand(); }
+
+unsigned hardware_entropy() {
+  std::random_device rd;
+  return rd();
+}
+
+int fold(const std::unordered_map<int, int>& scores) {
+  int sum = 0;
+  for (const auto& [key, value] : scores) sum += value;
+  return sum;
+}
+
+int walk(const std::unordered_map<int, int>& scores) {
+  int sum = 0;
+  for (auto it = scores.begin(); it != scores.end(); ++it) sum += it->second;
+  return sum;
+}
+
+void print_address(const int* p) {
+  std::printf("slot at %p\n", static_cast<const void*>(p));
+}
+
+void stream_address(std::ostream& os, const int* p) {
+  os << static_cast<const void*>(p);
+}
+
+std::uint64_t hash_address(const int* p) {
+  return reinterpret_cast<std::uintptr_t>(p);
+}
+
+}  // namespace tlc::sim

@@ -1,0 +1,31 @@
+// Seeded hot-path-alloc violations: allocation and exception constructs
+// inside TLC_HOT-annotated functions. Lexed by the lint tests, never
+// compiled.
+#include <functional>
+#include <memory>
+
+#include "common/hot.hpp"
+
+namespace tlc::wire {
+
+struct Slot {
+  int value = 0;
+};
+
+TLC_HOT Slot* allocate_in_hot_path() { return new Slot{}; }
+
+TLC_HOT void wrap_callback() {
+  std::function<void()> callback = [] {};
+  callback();
+}
+
+TLC_HOT void reject(bool bad) {
+  if (bad) throw Slot{};
+}
+
+TLC_HOT std::unique_ptr<Slot> build() { return std::make_unique<Slot>(); }
+
+// Not annotated: the same constructs are fine on cold paths.
+Slot* allocate_in_cold_path() { return new Slot{}; }
+
+}  // namespace tlc::wire

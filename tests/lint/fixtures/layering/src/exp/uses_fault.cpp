@@ -1,0 +1,6 @@
+// Seeded layering violation: experiments must not depend on the fault
+// harness (fault sits above exp in the DAG). Lexed, never compiled.
+#include "exp/scenario.hpp"
+#include "fault/injector.hpp"
+
+namespace tlc::exp {}

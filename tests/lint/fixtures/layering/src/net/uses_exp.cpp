@@ -1,0 +1,6 @@
+// Seeded layering violation: the network layer must not depend on the
+// experiment harness. Lexed by the lint tests, never compiled.
+#include "exp/sweep.hpp"
+#include "net/link.hpp"
+
+namespace tlc::net {}

@@ -1,0 +1,7 @@
+// Seeded layering violation: the simulation core must not depend on the
+// protocol layer. Lexed by the lint tests, never compiled.
+#include "common/units.hpp"
+#include "sim/scheduler.hpp"
+#include "tlc/protocol.hpp"
+
+namespace tlc::sim {}

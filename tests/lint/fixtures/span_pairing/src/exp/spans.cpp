@@ -1,0 +1,31 @@
+// Seeded span-pairing violations: locally-declared spans that leak or are
+// skipped by an early return. Lexed by the lint tests, never compiled.
+#include "obs/span.hpp"
+
+namespace tlc::exp {
+
+void leaks_span(tlc::obs::Tracer& spans) {
+  auto span = spans.root("exchange", 1);
+  // ... work, but the span is never ended on any path.
+}
+
+int early_return(tlc::obs::Tracer& spans, bool fail) {
+  auto span = spans.child("verify", 2);
+  if (fail) return -1;
+  spans.end(span);
+  return 0;
+}
+
+void balanced(tlc::obs::Tracer& spans) {
+  auto span = spans.child("settle", 3);
+  spans.end(span);
+}
+
+// Member-stored spans legitimately cross functions; the rule must not fire.
+struct Exchange {
+  tlc::obs::SpanContext span_;
+  void begin(tlc::obs::Tracer& spans) { span_ = spans.root("exchange", 4); }
+  void finish(tlc::obs::Tracer& spans) { spans.end(span_); }
+};
+
+}  // namespace tlc::exp

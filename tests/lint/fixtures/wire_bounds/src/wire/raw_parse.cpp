@@ -1,0 +1,23 @@
+// Seeded wire-bounds violations: unchecked byte handling in wire code
+// outside the codec. Lexed by the lint tests, never compiled.
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace tlc::wire {
+
+std::uint32_t peek_length(const std::vector<std::uint8_t>& buf) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, buf.data() + 4, sizeof v);
+  return v;
+}
+
+const std::uint16_t* alias_words(const std::vector<std::uint8_t>& buf) {
+  return reinterpret_cast<const std::uint16_t*>(buf.data());
+}
+
+std::uint8_t first_byte(const std::vector<std::uint8_t>& buf) {
+  return buf.data()[0];
+}
+
+}  // namespace tlc::wire

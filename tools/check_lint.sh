@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# CI-style check: the project-invariant static analyzer (tools/lint/tlc_lint)
+# must scan src/ clean — every finding either fixed or carrying a
+# `tlc-lint: allow(<rule>): <reason>` escape — and the golden fixture tests
+# proving each rule family live must pass (ctest label `lint`).
+#
+# Usage: check_lint.sh [build_dir] [json_out]
+#   json_out — optional path for the machine-readable findings report
+#              (tlc_lint --json), uploaded as a CI artifact.
+#
+# Self-configuring: a missing or unconfigured build dir is created from the
+# `default` preset (or a plain configure when a custom dir is given), so the
+# script behaves identically on a clean CI checkout and a developer tree.
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+json_out="${2:-}"
+
+if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+  if [ "$build_dir" = "$repo_root/build" ]; then
+    (cd "$repo_root" && cmake --preset default >/dev/null)
+  else
+    cmake -S "$repo_root" -B "$build_dir" >/dev/null
+  fi
+fi
+
+cmake --build "$build_dir" -j "$(nproc)" \
+  --target tlc_lint test_lint_fixtures
+
+lint="$build_dir/tools/lint/tlc_lint"
+
+if [ -n "$json_out" ]; then
+  # Artifact first so a failing scan still leaves the report behind; the
+  # verbose text pass below is the one that gates.
+  "$lint" --root "$repo_root" --json > "$json_out" || true
+fi
+
+"$lint" --root "$repo_root" --verbose
+
+ctest --test-dir "$build_dir" -L lint --output-on-failure
+
+echo "OK: src/ scans clean and all lint fixtures pass."

@@ -1,0 +1,149 @@
+#include "compdb.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace tlc_lint {
+namespace {
+
+/// Decodes a JSON string starting at src[i] == '"'. Advances `i` past the
+/// closing quote. Handles the escapes CMake emits (\" \\ \/ \n \t ...);
+/// \uXXXX is passed through verbatim, which is fine for paths and argv.
+std::string json_string(const std::string& src, std::size_t& i) {
+  std::string out;
+  ++i;  // opening quote
+  while (i < src.size() && src[i] != '"') {
+    if (src[i] == '\\' && i + 1 < src.size()) {
+      const char e = src[i + 1];
+      switch (e) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        default: out += e; break;  // \" \\ \/ and anything else literally
+      }
+      i += 2;
+      continue;
+    }
+    out += src[i++];
+  }
+  if (i < src.size()) ++i;  // closing quote
+  return out;
+}
+
+void skip_ws(const std::string& src, std::size_t& i) {
+  while (i < src.size() && (src[i] == ' ' || src[i] == '\t' ||
+                            src[i] == '\n' || src[i] == '\r' ||
+                            src[i] == ',' || src[i] == ':')) {
+    ++i;
+  }
+}
+
+/// Splits a shell "command" string on unquoted whitespace — good enough for
+/// CMake-written command lines (no subshells, only simple quoting).
+std::vector<std::string> split_command(const std::string& cmd) {
+  std::vector<std::string> argv;
+  std::string cur;
+  char quote = 0;
+  for (char c : cmd) {
+    if (quote != 0) {
+      if (c == quote) {
+        quote = 0;
+      } else {
+        cur += c;
+      }
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      quote = c;
+      continue;
+    }
+    if (c == ' ' || c == '\t') {
+      if (!cur.empty()) argv.push_back(std::move(cur));
+      cur.clear();
+      continue;
+    }
+    cur += c;
+  }
+  if (!cur.empty()) argv.push_back(std::move(cur));
+  return argv;
+}
+
+}  // namespace
+
+bool load_compile_db(const std::string& path,
+                     std::vector<CompileEntry>* out) {
+  out->clear();
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string src = buf.str();
+
+  std::size_t i = 0;
+  int depth = 0;
+  CompileEntry entry;
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '{') {
+      ++depth;
+      entry = CompileEntry{};
+      ++i;
+      continue;
+    }
+    if (c == '}') {
+      --depth;
+      if (!entry.file.empty()) out->push_back(entry);
+      entry = CompileEntry{};
+      ++i;
+      continue;
+    }
+    if (c != '"') {
+      ++i;
+      continue;
+    }
+    std::string key = json_string(src, i);
+    if (depth == 0) continue;
+    skip_ws(src, i);
+    if (i >= src.size()) break;
+    if (src[i] == '"') {
+      // String value: dispatch on the key; unknown keys ("output", ...)
+      // still consume their value so it is never mistaken for a key.
+      std::string value = json_string(src, i);
+      if (key == "directory") {
+        entry.directory = std::move(value);
+      } else if (key == "file") {
+        entry.file = std::move(value);
+      } else if (key == "command") {
+        entry.args = split_command(value);
+      }
+    } else if (key == "arguments" && src[i] == '[') {
+      ++i;
+      while (i < src.size() && src[i] != ']') {
+        skip_ws(src, i);
+        if (i < src.size() && src[i] == '"') {
+          entry.args.push_back(json_string(src, i));
+        } else if (i < src.size() && src[i] != ']') {
+          ++i;
+        }
+      }
+      if (i < src.size()) ++i;  // ']'
+    }
+  }
+  return true;
+}
+
+const CompileEntry* find_entry(const std::vector<CompileEntry>& db,
+                               const std::string& absolute_file) {
+  for (const CompileEntry& e : db) {
+    if (e.file == absolute_file) return &e;
+    if (!e.directory.empty() && e.file.rfind('/', 0) != 0 &&
+        e.directory + "/" + e.file == absolute_file) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace tlc_lint

@@ -1,0 +1,31 @@
+// Minimal compile_commands.json reader for tlc_lint.
+//
+// The token-scan engine only needs the database to *enumerate* translation
+// units; the libclang engine also feeds each entry's compiler arguments to
+// clang_parseTranslationUnit. Parsing is deliberately tolerant: the file is
+// machine-written by CMake (CMAKE_EXPORT_COMPILE_COMMANDS=ON), so we scrape
+// the "directory" / "file" / "command" / "arguments" members per entry
+// rather than pull in a JSON library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tlc_lint {
+
+struct CompileEntry {
+  std::string directory;
+  std::string file;                // as recorded (may be relative to directory)
+  std::vector<std::string> args;   // compiler argv, when recorded
+};
+
+/// Loads `path`; returns false (and leaves `out` empty) when the file is
+/// missing or unreadable. Unparseable entries are skipped.
+[[nodiscard]] bool load_compile_db(const std::string& path,
+                                   std::vector<CompileEntry>* out);
+
+/// The entry for `absolute_file`, or nullptr.
+[[nodiscard]] const CompileEntry* find_entry(
+    const std::vector<CompileEntry>& db, const std::string& absolute_file);
+
+}  // namespace tlc_lint

@@ -1,0 +1,174 @@
+// libclang C-API front-end for tlc_lint.
+//
+// Compiled only when <clang-c/Index.h> was found at configure time
+// (TLC_LINT_HAVE_LIBCLANG); otherwise tlc_lint is built from the hand
+// lexer alone and `--engine libclang` reports unavailability. The two
+// front-ends emit the same LexedFile shape, so every rule behaves
+// identically on either engine — libclang just brings an exact C++ lexer
+// (digraphs, UCNs, _Pragma, splices) for free.
+#include "lexer.hpp"
+
+#if defined(TLC_LINT_HAVE_LIBCLANG)
+
+#include <clang-c/Index.h>
+
+#include <cstring>
+
+namespace tlc_lint {
+namespace {
+
+std::string spelling(CXTranslationUnit tu, CXToken tok) {
+  CXString s = clang_getTokenSpelling(tu, tok);
+  const char* c = clang_getCString(s);
+  std::string out = c != nullptr ? c : "";
+  clang_disposeString(s);
+  return out;
+}
+
+/// Strips the delimiters off a comment token and feeds any tlc-lint
+/// escape to the shared parser.
+void handle_comment(const std::string& text, int line, bool code_before,
+                    LexedFile* out) {
+  std::string body;
+  if (text.rfind("//", 0) == 0) {
+    body = text.substr(2);
+  } else if (text.rfind("/*", 0) == 0 && text.size() >= 4) {
+    body = text.substr(2, text.size() - 4);
+  } else {
+    body = text;
+  }
+  parse_allow_comment(body, line, code_before, out);
+}
+
+/// Strips quotes (and encoding prefixes) from a string-literal spelling so
+/// both engines report literal *contents*.
+std::string literal_contents(const std::string& text) {
+  std::size_t b = text.find('"');
+  std::size_t e = text.rfind('"');
+  if (b == std::string::npos || e <= b) return text;
+  return text.substr(b + 1, e - b - 1);
+}
+
+}  // namespace
+
+bool lex_tokens_libclang(const std::string& path,
+                         const std::vector<std::string>& args,
+                         LexedFile* out) {
+  *out = LexedFile{};
+  CXIndex index = clang_createIndex(/*excludeDeclsFromPCH=*/0,
+                                    /*displayDiagnostics=*/0);
+  if (index == nullptr) return false;
+
+  // Drop argv[0] (the compiler) and the source file itself; libclang wants
+  // only the flags.
+  std::vector<const char*> argv;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == path) continue;
+    argv.push_back(args[i].c_str());
+  }
+
+  CXTranslationUnit tu = nullptr;
+  const CXErrorCode rc = clang_parseTranslationUnit2(
+      index, path.c_str(), argv.data(), static_cast<int>(argv.size()),
+      /*unsaved_files=*/nullptr, 0,
+      CXTranslationUnit_DetailedPreprocessingRecord |
+          CXTranslationUnit_KeepGoing,
+      &tu);
+  if (rc != CXError_Success || tu == nullptr) {
+    clang_disposeIndex(index);
+    return false;
+  }
+
+  CXFile file = clang_getFile(tu, path.c_str());
+  if (file == nullptr) {
+    clang_disposeTranslationUnit(tu);
+    clang_disposeIndex(index);
+    return false;
+  }
+  const CXSourceLocation begin = clang_getLocationForOffset(tu, file, 0);
+  // End-of-file offset: libclang caps out-of-range offsets at EOF.
+  const CXSourceLocation end =
+      clang_getLocationForOffset(tu, file, ~0u >> 1);
+  const CXSourceRange range = clang_getRange(begin, end);
+
+  CXToken* toks = nullptr;
+  unsigned count = 0;
+  clang_tokenize(tu, range, &toks, &count);
+
+  int last_code_line = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    const CXTokenKind kind = clang_getTokenKind(toks[i]);
+    CXSourceLocation loc = clang_getTokenLocation(tu, toks[i]);
+    unsigned line = 0;
+    unsigned col = 0;
+    clang_getSpellingLocation(loc, nullptr, &line, &col, nullptr);
+    std::string text = spelling(tu, toks[i]);
+
+    if (kind == CXToken_Comment) {
+      handle_comment(text, static_cast<int>(line),
+                     static_cast<int>(line) == last_code_line, out);
+      continue;
+    }
+
+    Token t;
+    t.line = static_cast<int>(line);
+    switch (kind) {
+      case CXToken_Identifier:
+      case CXToken_Keyword:
+        t.kind = Token::Kind::kIdentifier;
+        t.text = std::move(text);
+        break;
+      case CXToken_Literal:
+        if (!text.empty() && (text[0] == '"' || text.back() == '"')) {
+          t.kind = Token::Kind::kString;
+          t.text = literal_contents(text);
+        } else if (!text.empty() && text[0] == '\'') {
+          t.kind = Token::Kind::kChar;
+          t.text = literal_contents(text);
+        } else {
+          t.kind = Token::Kind::kNumber;
+          t.text = std::move(text);
+        }
+        break;
+      case CXToken_Punctuation:
+      default:
+        t.kind = Token::Kind::kPunct;
+        t.text = std::move(text);
+        break;
+    }
+    out->tokens.push_back(std::move(t));
+    last_code_line = static_cast<int>(line);
+  }
+
+  // Mark preprocessor lines: a `#` opening a line taints tokens through the
+  // end of that (logically continued) line. clang_tokenize keeps directive
+  // tokens inline, so replay the same convention the hand lexer uses.
+  {
+    int pp_line = -1;
+    int prev_line = -1;
+    bool line_has_code = false;
+    for (Token& t : out->tokens) {
+      if (t.line != prev_line) {
+        prev_line = t.line;
+        line_has_code = false;
+        if (pp_line >= 0 && t.line > pp_line) pp_line = -1;
+      }
+      if (!line_has_code && t.kind == Token::Kind::kPunct && t.text == "#") {
+        pp_line = t.line;
+      }
+      line_has_code = true;
+      if (pp_line >= 0) t.preprocessor = true;
+    }
+  }
+
+  clang_disposeTokens(tu, toks, count);
+  clang_disposeTranslationUnit(tu);
+  clang_disposeIndex(index);
+
+  resolve_pending_allows(out);
+  return true;
+}
+
+}  // namespace tlc_lint
+
+#endif  // TLC_LINT_HAVE_LIBCLANG

@@ -1,0 +1,331 @@
+// tlc_lint — project-invariant static analysis for the TLC reproduction.
+//
+// Enforces the five rule families in rules.hpp over src/ (or any explicit
+// path list), resolving `// tlc-lint: allow(<rule>): <reason>` escapes, and
+// exits non-zero when any non-allowlisted finding remains.
+//
+//   tlc_lint [--root DIR] [--compdb FILE] [--json] [--verbose]
+//            [--disable RULE[,RULE...]] [--engine auto|token|libclang]
+//            [--list-rules] [paths...]
+//
+// Engines: the libclang C-API front-end is used when the binary was built
+// against <clang-c/Index.h> and the file has a compile_commands.json entry;
+// everywhere else the built-in token scanner runs (same rules, same token
+// model — see lexer.hpp). `--engine` forces one or the other.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "compdb.hpp"
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Options {
+  std::string root = ".";
+  std::string compdb;
+  bool json = false;
+  bool verbose = false;
+  std::set<std::string> disabled;
+  std::string engine = "auto";  // auto | token | libclang
+  std::vector<std::string> paths;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: tlc_lint [--root DIR] [--compdb FILE] [--json] [--verbose]\n"
+        "                [--disable RULE[,RULE...]] [--engine "
+        "auto|token|libclang]\n"
+        "                [--list-rules] [paths...]\n"
+        "\n"
+        "Scans DIR/src (default) or the given files/directories and reports\n"
+        "`file:line rule message` findings. Exit status 1 when any\n"
+        "non-allowlisted finding remains, 2 on usage errors.\n";
+}
+
+bool parse_args(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "tlc_lint: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else if (arg == "--list-rules") {
+      for (const std::string& id : tlc_lint::rule_ids()) {
+        std::cout << id << "\n";
+      }
+      std::exit(0);
+    } else if (arg == "--root") {
+      const char* v = value("--root");
+      if (v == nullptr) return false;
+      opt->root = v;
+    } else if (arg == "--compdb") {
+      const char* v = value("--compdb");
+      if (v == nullptr) return false;
+      opt->compdb = v;
+    } else if (arg == "--json") {
+      opt->json = true;
+    } else if (arg == "--verbose") {
+      opt->verbose = true;
+    } else if (arg == "--engine") {
+      const char* v = value("--engine");
+      if (v == nullptr) return false;
+      opt->engine = v;
+      if (opt->engine != "auto" && opt->engine != "token" &&
+          opt->engine != "libclang") {
+        std::cerr << "tlc_lint: unknown engine '" << opt->engine << "'\n";
+        return false;
+      }
+    } else if (arg == "--disable") {
+      const char* v = value("--disable");
+      if (v == nullptr) return false;
+      std::stringstream ss{std::string(v)};
+      std::string rule;
+      while (std::getline(ss, rule, ',')) {
+        if (rule.empty()) continue;
+        const auto& ids = tlc_lint::rule_ids();
+        if (std::find(ids.begin(), ids.end(), rule) == ids.end()) {
+          std::cerr << "tlc_lint: unknown rule '" << rule
+                    << "' (see --list-rules)\n";
+          return false;
+        }
+        opt->disabled.insert(rule);
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "tlc_lint: unknown option '" << arg << "'\n";
+      return false;
+    } else {
+      opt->paths.push_back(arg);
+    }
+  }
+  return true;
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h";
+}
+
+/// Expands files/directories into a sorted, deduplicated list of absolute
+/// source paths.
+std::vector<fs::path> collect_files(const Options& opt) {
+  std::vector<fs::path> files;
+  std::vector<fs::path> roots;
+  if (opt.paths.empty()) {
+    roots.push_back(fs::path(opt.root) / "src");
+  } else {
+    for (const std::string& p : opt.paths) roots.emplace_back(p);
+  }
+  for (const fs::path& r : roots) {
+    std::error_code ec;
+    if (fs::is_directory(r, ec)) {
+      for (auto it = fs::recursive_directory_iterator(r, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() && lintable(it->path())) {
+          files.push_back(fs::absolute(it->path()));
+        }
+      }
+    } else if (fs::is_regular_file(r, ec) && lintable(r)) {
+      files.push_back(fs::absolute(r));
+    } else {
+      std::cerr << "tlc_lint: warning: skipping '" << r.string()
+                << "' (not a file or directory)\n";
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+/// Root-relative, '/'-separated path — the form the path-keyed rules and
+/// all output use.
+std::string relative_to_root(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(file, root, ec);
+  const fs::path& use = (ec || rel.empty()) ? file : rel;
+  return use.generic_string();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, &opt)) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  std::vector<tlc_lint::CompileEntry> compdb;
+  if (!opt.compdb.empty() &&
+      !tlc_lint::load_compile_db(opt.compdb, &compdb)) {
+    std::cerr << "tlc_lint: cannot read compile database '" << opt.compdb
+              << "'\n";
+    return 2;
+  }
+
+#if defined(TLC_LINT_HAVE_LIBCLANG)
+  const bool have_libclang = true;
+#else
+  const bool have_libclang = false;
+#endif
+  if (opt.engine == "libclang" && !have_libclang) {
+    std::cerr << "tlc_lint: built without libclang (clang-c/Index.h was not "
+                 "found); use --engine token\n";
+    return 2;
+  }
+
+  const fs::path root = fs::absolute(opt.root);
+  const std::vector<fs::path> files = collect_files(opt);
+
+  std::vector<tlc_lint::Finding> findings;
+  std::string engine_used = "token";
+  for (const fs::path& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "tlc_lint: cannot read '" << file.string() << "'\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    tlc_lint::LexedFile lex;
+    bool lexed = false;
+#if defined(TLC_LINT_HAVE_LIBCLANG)
+    if (opt.engine != "token") {
+      const tlc_lint::CompileEntry* entry =
+          tlc_lint::find_entry(compdb, file.string());
+      std::vector<std::string> args =
+          entry != nullptr ? entry->args : std::vector<std::string>{};
+      if (entry != nullptr || opt.engine == "libclang") {
+        lexed = tlc_lint::lex_tokens_libclang(file.string(), args, &lex);
+        if (lexed) engine_used = "libclang";
+      }
+    }
+#endif
+    if (!lexed) lex = tlc_lint::lex_tokens(buf.str());
+
+    const std::string rel = relative_to_root(file, root);
+    std::vector<tlc_lint::Finding> file_findings =
+        tlc_lint::run_rules(rel, lex, opt.disabled);
+
+    // Resolve allow escapes: a finding is allowlisted when an escape for
+    // its rule covers its line. Escapes naming unknown rules are flagged.
+    for (tlc_lint::Finding& f : file_findings) {
+      const auto it = lex.allows.find(f.line);
+      if (it == lex.allows.end()) continue;
+      for (const tlc_lint::AllowEntry& a : it->second) {
+        if (a.rule == f.rule) {
+          f.allowed = true;
+          f.reason = a.reason;
+          break;
+        }
+      }
+    }
+    for (const auto& [line, entries] : lex.allows) {
+      for (const tlc_lint::AllowEntry& a : entries) {
+        const auto& ids = tlc_lint::rule_ids();
+        if (std::find(ids.begin(), ids.end(), a.rule) == ids.end()) {
+          file_findings.push_back(tlc_lint::Finding{
+              rel, a.comment_line, "allow-syntax",
+              "allow escape names unknown rule '" + a.rule + "'",
+              /*allowed=*/false, /*reason=*/{}});
+        }
+      }
+    }
+    for (const auto& [line, message] : lex.bad_allows) {
+      file_findings.push_back(tlc_lint::Finding{
+          rel, line, "allow-syntax", message, /*allowed=*/false,
+          /*reason=*/{}});
+    }
+
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const tlc_lint::Finding& a, const tlc_lint::Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+
+  std::size_t blocking = 0;
+  for (const tlc_lint::Finding& f : findings) {
+    if (!f.allowed) ++blocking;
+  }
+
+  if (opt.json) {
+    std::cout << "{\n  \"engine\": \"" << engine_used << "\",\n"
+              << "  \"files_scanned\": " << files.size() << ",\n"
+              << "  \"blocking\": " << blocking << ",\n  \"findings\": [";
+    bool first = true;
+    for (const tlc_lint::Finding& f : findings) {
+      std::cout << (first ? "\n" : ",\n")
+                << "    {\"file\": \"" << json_escape(f.file)
+                << "\", \"line\": " << f.line << ", \"rule\": \""
+                << json_escape(f.rule) << "\", \"allowed\": "
+                << (f.allowed ? "true" : "false") << ", \"message\": \""
+                << json_escape(f.message) << "\"";
+      if (f.allowed) {
+        std::cout << ", \"reason\": \"" << json_escape(f.reason) << "\"";
+      }
+      std::cout << "}";
+      first = false;
+    }
+    std::cout << (first ? "" : "\n  ") << "]\n}\n";
+  } else {
+    for (const tlc_lint::Finding& f : findings) {
+      if (f.allowed && !opt.verbose) continue;
+      std::cout << f.file << ":" << f.line << " " << f.rule << " "
+                << f.message;
+      if (f.allowed) std::cout << " [allowed: " << f.reason << "]";
+      std::cout << "\n";
+    }
+    if (opt.verbose || blocking > 0) {
+      std::cerr << "tlc_lint: " << files.size() << " files, " << blocking
+                << " blocking finding" << (blocking == 1 ? "" : "s") << " ("
+                << engine_used << " engine)\n";
+    }
+  }
+
+  return blocking == 0 ? 0 : 1;
+}

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "exp/sweep.hpp"
 
@@ -71,6 +72,7 @@ int main(int argc, char** argv) {
                  "{\n"
                  "  \"scenarios\": %zu,\n"
                  "  \"jobs\": %d,\n"
+                 "  \"cpus\": %u,\n"
                  "  \"serial_seconds\": %.6f,\n"
                  "  \"parallel_seconds\": %.6f,\n"
                  "  \"serial_scenarios_per_sec\": %.4f,\n"
@@ -81,7 +83,8 @@ int main(int argc, char** argv) {
                  "  \"speedup\": %.4f,\n"
                  "  \"identical\": %s\n"
                  "}\n",
-                 configs.size(), jobs, serial.seconds, parallel.seconds,
+                 configs.size(), jobs, std::thread::hardware_concurrency(),
+                 serial.seconds, parallel.seconds,
                  configs.size() / serial.seconds,
                  configs.size() / parallel.seconds,
                  static_cast<double>(serial.events) / serial.seconds,

@@ -46,4 +46,26 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+/// splitmix64 finalizer: bijective 64-bit mix with full avalanche. The
+/// canonical mixing primitive for seed derivation (exp::mix_seed and the
+/// fleet's per-device/per-shard streams are built on it).
+[[nodiscard]] std::uint64_t stream_mix64(std::uint64_t x);
+
+/// Seed of independent stream `index` derived from `seed`. Both arguments
+/// go through a full stream_mix64 round, so stream 7 of seed 1 and stream 0
+/// of seed 8 are unrelated — never derive stream seeds as `seed + index`
+/// (adjacent seeds would alias entire stream families).
+[[nodiscard]] std::uint64_t stream_seed(std::uint64_t seed,
+                                        std::uint64_t index);
+
+/// The k-th output of the splitmix64 sequence seeded `stream`. A
+/// counter-based draw: no generator state to store or walk, so a million
+/// per-device streams cost one u64 each and any draw is O(1) random access
+/// — the property the sharded fleet uses to keep per-device randomness
+/// independent of shard count.
+[[nodiscard]] std::uint64_t stream_draw(std::uint64_t stream, std::uint64_t k);
+
+/// stream_draw mapped to a double in [0, 1) (53 mantissa bits).
+[[nodiscard]] double stream_unit(std::uint64_t stream, std::uint64_t k);
+
 }  // namespace tlc

@@ -1,0 +1,206 @@
+// Structure-of-arrays device/session/counter state for operator-scale
+// fleets.
+//
+// The Fig. 11 Testbed models ONE device with full packet-level fidelity;
+// policing the charging gap for an operator-scale population needs a
+// different point on the fidelity/scale curve. DeviceFleet holds the state
+// of millions of UEs as index-addressed columns keyed by a dense device id
+// — no per-device heap objects, no pointers — so the per-cycle
+// CDR→CDA→PoC bookkeeping is a contiguous walk:
+//
+//   * session columns  — serving cell, RRC connectivity, reconnect count;
+//   * counter columns  — per-cycle gateway CDR (charged) and edge app
+//     (delivered) volumes, cumulative modem octets: the same three views
+//     §5.4 gives the single-device testbed;
+//   * settlement columns — per-device billed totals under legacy and TLC
+//     charging, and a per-device PoC hash chain folded at every settle.
+//
+// All randomness is counter-based (common/rng stream_draw): a device's
+// k-th draw depends only on (fleet seed, device id, k), never on global
+// event order or the shard partition — the keystone of the shard-count
+// independence proven by tests/exp/test_fleet_determinism.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace tlc::epc {
+
+/// Dense fleet device id: an index into the SoA columns.
+using FleetDeviceId = std::uint32_t;
+
+/// Traffic/charging model for one downlink-heavy edge app across the
+/// fleet (a coarse-grained analogue of the Fig. 11 webcam workload).
+struct FleetTrafficParams {
+  /// Mean application burst the server pushes per wakeup; actual bursts
+  /// are uniform in [0.5, 1.5) × mean.
+  std::uint64_t mean_burst_bytes = 12'000;
+  /// Mean gap between bursts; actual gaps uniform in [0.5, 1.5) × mean.
+  Duration mean_burst_period = std::chrono::milliseconds{250};
+  /// Residual radio loss at good RSS (§3.2 measures 6.7–8.3%).
+  double base_loss = 0.02;
+  /// Additional loss at the most congested cell; each cell sits at a
+  /// static congestion level in [0, 1] derived from its id.
+  double congestion_loss_max = 0.08;
+  /// Probability a burst hits a coverage dip: the gateway charges the full
+  /// burst but nothing reaches the device (§3.1 cause 1).
+  double dip_probability = 0.01;
+  /// Every Nth burst the device is mid-handover and loses this fraction
+  /// of the burst after charging (§3.1 cause 2). 0 disables.
+  std::uint32_t handover_every = 64;
+  double handover_loss = 0.3;
+  /// Uplink acknowledgement traffic as a fraction denominator of the
+  /// downlink burst (ul = burst / ul_divisor + 40 header bytes).
+  std::uint64_t ul_divisor = 40;
+};
+
+/// FNV-1a fold of one 64-bit word into a running hash — the primitive for
+/// the per-device PoC chains and the fleet digest.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::uint64_t h,
+                                              std::uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (word >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+inline constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+
+class DeviceFleet {
+ public:
+  /// Builds the columns for `devices` UEs grouped `devices_per_cell` to a
+  /// cell. Per-device stream seeds derive from `seed` via stream_seed
+  /// (full splitmix64 avalanche — never seed + id).
+  DeviceFleet(std::size_t devices, std::uint32_t devices_per_cell,
+              std::uint64_t seed);
+
+  [[nodiscard]] std::size_t devices() const { return seeds_.size(); }
+  [[nodiscard]] std::uint32_t cells() const { return cell_count_; }
+  [[nodiscard]] std::uint32_t devices_per_cell() const {
+    return devices_per_cell_;
+  }
+  [[nodiscard]] std::uint32_t cell_of(FleetDeviceId d) const {
+    return static_cast<std::uint32_t>(d / devices_per_cell_);
+  }
+  [[nodiscard]] std::uint64_t device_stream(FleetDeviceId d) const {
+    return seeds_[d];
+  }
+  /// Static congestion level of a cell, in [0, 1].
+  [[nodiscard]] static double cell_congestion(std::uint32_t cell);
+
+  /// Byte deltas of one burst, tallied by the caller into per-shard
+  /// counters (keeping the fleet itself free of any cross-device state
+  /// that could observe event order).
+  struct BurstOutcome {
+    std::uint64_t charged_dl = 0;    // gateway CDR increment
+    std::uint64_t delivered_dl = 0;  // reached the app (edge CDA view)
+    std::uint64_t dropped_disconnect = 0;
+    std::uint64_t dropped_radio = 0;
+    std::uint64_t dropped_handover = 0;
+    std::uint64_t charged_ul = 0;
+    bool reconnected = false;  // RRC re-established on this burst
+    Duration next_gap{};       // schedule the next burst this far ahead
+  };
+
+  /// One downlink burst (plus piggybacked uplink) for device `d`: charges
+  /// at the gateway column, applies the loss model, and advances the
+  /// device's draw counter. Only columns of `d` (and its cell's
+  /// accumulators, owned by the same shard) are touched.
+  BurstOutcome burst(FleetDeviceId d, const FleetTrafficParams& params);
+
+  /// Cycle-end settlement over the contiguous device range [begin, end):
+  /// the CDR→CDA→PoC walk. For each device the gateway's CDR (charged) and
+  /// the edge's CDA (delivered) settle into a legacy bill (CDR verbatim)
+  /// and a TLC bill (CDA + loss_weight × disputed gap, Algorithm 1's
+  /// split), fold into the device's PoC chain, and reset the per-cycle
+  /// columns. Returns exact totals for the range.
+  struct SettleTotals {
+    std::uint64_t devices = 0;
+    std::uint64_t charged_dl = 0;
+    std::uint64_t delivered_dl = 0;
+    std::uint64_t gap_dl = 0;
+    std::uint64_t billed_legacy = 0;
+    std::uint64_t billed_tlc = 0;
+    std::uint64_t charged_ul = 0;
+  };
+  SettleTotals settle_range(FleetDeviceId begin, FleetDeviceId end,
+                            std::uint64_t cycle, double loss_weight);
+
+  /// Per-cell per-cycle accumulators (the RRC COUNTER CHECK the cell
+  /// reports to the OFCS aggregator at cycle end). Reset by
+  /// reset_cell_cycle after the report is posted.
+  [[nodiscard]] std::uint64_t cell_charged_dl(std::uint32_t cell) const {
+    return cell_charged_dl_[cell];
+  }
+  [[nodiscard]] std::uint64_t cell_delivered_dl(std::uint32_t cell) const {
+    return cell_delivered_dl_[cell];
+  }
+  void reset_cell_cycle(std::uint32_t cell) {
+    cell_charged_dl_[cell] = 0;
+    cell_delivered_dl_[cell] = 0;
+  }
+
+  /// Read-only column access for audits/tests.
+  [[nodiscard]] std::uint64_t cycle_charged_dl(FleetDeviceId d) const {
+    return cdr_dl_[d];
+  }
+  [[nodiscard]] std::uint64_t cycle_delivered_dl(FleetDeviceId d) const {
+    return app_dl_recv_[d];
+  }
+  [[nodiscard]] std::uint64_t billed_legacy(FleetDeviceId d) const {
+    return billed_legacy_[d];
+  }
+  [[nodiscard]] std::uint64_t billed_tlc(FleetDeviceId d) const {
+    return billed_tlc_[d];
+  }
+  [[nodiscard]] std::uint64_t modem_rx(FleetDeviceId d) const {
+    return modem_rx_[d];
+  }
+  [[nodiscard]] std::uint64_t modem_tx(FleetDeviceId d) const {
+    return modem_tx_[d];
+  }
+  [[nodiscard]] std::uint64_t poc_chain(FleetDeviceId d) const {
+    return poc_[d];
+  }
+  [[nodiscard]] bool rrc_connected(FleetDeviceId d) const {
+    return connected_[d] != 0;
+  }
+  [[nodiscard]] std::uint32_t reconnects(FleetDeviceId d) const {
+    return reconnects_[d];
+  }
+
+  /// Order-independent digest of the whole fleet's settled state: a
+  /// device-id-ordered FNV fold over every settlement column. Two runs
+  /// produce the same digest iff every device settled identically —
+  /// regardless of shard count or thread interleaving.
+  [[nodiscard]] std::uint64_t digest() const;
+
+ private:
+  std::uint32_t devices_per_cell_;
+  std::uint32_t cell_count_;
+
+  // --- per-device columns (SoA, indexed by FleetDeviceId) ---
+  std::vector<std::uint64_t> seeds_;        // counter-based RNG stream
+  std::vector<std::uint64_t> draw_ix_;      // next draw counter
+  std::vector<std::uint32_t> burst_ix_;     // bursts to date (handover phase)
+  std::vector<std::uint8_t> connected_;     // RRC session state
+  std::vector<std::uint32_t> reconnects_;   // session churn
+  std::vector<std::uint64_t> cdr_dl_;       // per-cycle gateway CDR
+  std::vector<std::uint64_t> app_dl_recv_;  // per-cycle edge delivery (CDA)
+  std::vector<std::uint64_t> cdr_ul_;       // per-cycle uplink CDR
+  std::vector<std::uint64_t> app_ul_sent_;  // per-cycle uplink app bytes
+  std::vector<std::uint64_t> modem_rx_;     // cumulative modem octets
+  std::vector<std::uint64_t> modem_tx_;
+  std::vector<std::uint64_t> billed_legacy_;  // cumulative bills
+  std::vector<std::uint64_t> billed_tlc_;
+  std::vector<std::uint64_t> poc_;  // per-device PoC hash chain
+
+  // --- per-cell per-cycle accumulators (cells never span shards) ---
+  std::vector<std::uint64_t> cell_charged_dl_;
+  std::vector<std::uint64_t> cell_delivered_dl_;
+};
+
+}  // namespace tlc::epc

@@ -50,9 +50,12 @@ struct SweepOptions {
 [[nodiscard]] SweepOptions sweep_options_from_cli(int& argc, char** argv);
 
 /// Runs `body(i)` for every i in [0, count) across `jobs` workers (resolved
-/// via resolve_jobs). Slots are claimed from an atomic cursor; the call
-/// returns when all slots finished. The first exception thrown by any slot
-/// is rethrown in the caller after the pool drains.
+/// via resolve_jobs). Slots are block-partitioned into per-worker
+/// work-stealing deques (exp/ws_deque.hpp): a worker drains its own block
+/// contention-free and steals from the top of other workers' deques only
+/// when dry, so uneven slot costs rebalance without a shared cursor. The
+/// call returns when all slots finished. The first exception thrown by any
+/// slot is rethrown in the caller after the pool drains.
 void sweep_indexed(std::size_t count, int jobs,
                    const std::function<void(std::size_t)>& body);
 

@@ -1,0 +1,115 @@
+// Chase–Lev work-stealing deque (fixed capacity, index payloads).
+//
+// The sweep engine's scheduling problem: scenario slots vary wildly in
+// cost (a 10-device scenario next to a 10k-device one), so the shared
+// atomic cursor that hands out slots one-by-one serializes every claim
+// through one contended cache line. A work-stealing deque flips the
+// common case: each worker owns a deque prefilled with a contiguous block
+// of slots and pops from its bottom with no contention at all; only when
+// a worker runs dry does it touch anyone else's top end, stealing one
+// slot with a single CAS.
+//
+// This is the classic Chase & Lev layout (SPAA'05) restricted to what the
+// sweep needs — fixed capacity decided up front, std::size_t payloads, no
+// growth path:
+//
+//   * bottom_  — owner-only cursor; push/pop at this end are plain loads
+//     and stores plus the fences the algorithm prescribes.
+//   * top_     — the steal end; thieves race each other (and a last-item
+//     pop) with compare_exchange.
+//   * buffer_  — plain (non-atomic) storage. Safe here because every
+//     entry is written by the owning thread BEFORE the workers that might
+//     steal it are spawned (prefill), and thread creation publishes those
+//     writes; the deque never grows, so no entry is rewritten while
+//     thieves are live.
+//
+// pop() and steal() return kEmpty only when the deque is genuinely
+// observed empty; steal() can also return kContended when a race was
+// lost — the caller retries or moves to the next victim, it must NOT
+// count that as empty (termination detection depends on the distinction).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tlc::exp {
+
+enum class WsResult : std::uint8_t {
+  kOk,
+  kEmpty,
+  kContended,
+};
+
+class WsDeque {
+ public:
+  /// Capacity must cover every slot ever pushed; the deque does not grow.
+  explicit WsDeque(std::size_t capacity) : buffer_(capacity) {}
+
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  /// Owner-only, and only before the thieves exist (prefill) or from the
+  /// owning worker thread. No capacity check beyond the assert-style
+  /// clamp: callers size the deque to the block they push.
+  void push_bottom(std::size_t value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    buffer_[static_cast<std::size_t>(b) % buffer_.size()] = value;
+    // Publish the entry before advancing bottom so a thief that sees the
+    // new bottom also sees the payload.
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner-only pop from the bottom (LIFO for the owner — cache-warm
+  /// blocks run back-to-back).
+  WsResult pop_bottom(std::size_t& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Already empty: restore bottom.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return WsResult::kEmpty;
+    }
+    out = buffer_[static_cast<std::size_t>(b) % buffer_.size()];
+    if (t < b) return WsResult::kOk;  // more than one entry: no race
+    // Exactly one entry left: race the thieves for it via top.
+    const bool won = top_.compare_exchange_strong(
+        t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return won ? WsResult::kOk : WsResult::kEmpty;
+  }
+
+  /// Thief-side steal from the top (FIFO across the victim's block —
+  /// steals take the coldest work, leaving the victim its warm end).
+  WsResult steal(std::size_t& out) {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return WsResult::kEmpty;
+    out = buffer_[static_cast<std::size_t>(t) % buffer_.size()];
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return WsResult::kContended;  // lost the race; out is garbage
+    }
+    return WsResult::kOk;
+  }
+
+  /// Approximate size; exact when no operation is in flight.
+  [[nodiscard]] std::size_t size_relaxed() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+ private:
+  // Owner and thieves hammer different ends; keep them on separate cache
+  // lines from each other and from the buffer.
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::vector<std::size_t> buffer_;
+};
+
+}  // namespace tlc::exp

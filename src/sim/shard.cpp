@@ -1,0 +1,160 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "common/hot.hpp"
+
+namespace tlc::sim {
+
+ShardedRunner::ShardedRunner(Config config)
+    : lookahead_(config.lookahead), parallel_(config.parallel) {
+  if (lookahead_ <= Duration::zero()) {
+    throw std::invalid_argument{"ShardedRunner: lookahead must be positive"};
+  }
+  const std::uint32_t n = config.shards == 0 ? 1 : config.shards;
+  cells_.reserve(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    cells_.push_back(std::make_unique<ShardCell>());
+  }
+}
+
+ShardedRunner::~ShardedRunner() {
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ShardedRunner::reserve(std::size_t events_per_shard,
+                            std::size_t mailbox_capacity) {
+  for (auto& cell : cells_) {
+    cell->sched.reserve(events_per_shard);
+    cell->outbox.reserve(mailbox_capacity);
+  }
+  merge_.reserve(mailbox_capacity * cells_.size());
+}
+
+TLC_HOT void ShardedRunner::post(std::uint32_t src, std::uint32_t dst,
+                                 TimePoint deliver_at, std::uint64_t key,
+                                 InlineCallback fn) {
+  assert(src < cells_.size() && dst < cells_.size());
+  // The conservative-lookahead contract: nothing may be delivered inside
+  // the window that is still executing, or the merge would have to reach
+  // into a shard another thread owns.
+  assert(deliver_at >= window_end_);
+  // Per-shard bookkeeping only: during a window the posting thread owns
+  // cells_[src] exclusively, so no atomics are needed.
+  cells_[src]->outbox.push_back(
+      Message{deliver_at, key, dst, std::move(fn)});
+  ++cells_[src]->posted;
+}
+
+TLC_HOT TimePoint ShardedRunner::flush_mailboxes() {
+  merge_.clear();
+  for (auto& cell : cells_) {
+    for (Message& m : cell->outbox) merge_.push_back(std::move(m));
+    cell->outbox.clear();
+  }
+  if (merge_.empty()) return TimePoint::max();
+  // The deterministic cross-shard merge: (deliver_at, key) is a total
+  // order over every pending message regardless of which shard produced
+  // it, so the destination schedulers see one canonical insertion
+  // sequence — and their (when, seq) tie-break then reproduces the
+  // single-shard execution exactly.
+  std::sort(merge_.begin(), merge_.end(),
+            [](const Message& a, const Message& b) {
+              return std::tie(a.deliver_at, a.key, a.dst) <
+                     std::tie(b.deliver_at, b.key, b.dst);
+            });
+  const TimePoint earliest = merge_.front().deliver_at;
+  for (Message& m : merge_) {
+    cells_[m.dst]->sched.schedule_at(m.deliver_at, std::move(m.fn));
+  }
+  merge_.clear();
+  return earliest;
+}
+
+void ShardedRunner::start_workers() {
+  if (!workers_.empty()) return;
+  workers_.reserve(cells_.size());
+  for (std::uint32_t s = 0; s < cells_.size(); ++s) {
+    workers_.emplace_back([this, s] { worker_loop(s); });
+  }
+}
+
+void ShardedRunner::worker_loop(std::uint32_t s) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    TimePoint window_end;
+    {
+      std::unique_lock<std::mutex> lock{mu_};
+      cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      window_end = window_end_;
+    }
+    cells_[s]->sched.run_until(window_end);
+    {
+      std::lock_guard<std::mutex> lock{mu_};
+      if (--busy_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ShardedRunner::run_window(TimePoint window_end) {
+  ++windows_;
+  if (!parallel_ || cells_.size() == 1) {
+    window_end_ = window_end;
+    for (auto& cell : cells_) cell->sched.run_until(window_end);
+    return;
+  }
+  start_workers();
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    window_end_ = window_end;
+    busy_ = static_cast<std::uint32_t>(cells_.size());
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  std::unique_lock<std::mutex> lock{mu_};
+  cv_done_.wait(lock, [&] { return busy_ == 0; });
+}
+
+std::uint64_t ShardedRunner::run_until(TimePoint deadline) {
+  const std::uint64_t before = events_dispatched();
+  TimePoint now = cells_.front()->sched.now();
+  for (auto& cell : cells_) now = std::min(now, cell->sched.now());
+  while (now < deadline) {
+    const TimePoint window_end = std::min(deadline, now + lookahead_);
+    run_window(window_end);
+    flush_mailboxes();
+    now = window_end;
+  }
+  // A message posted in the final (possibly truncated) window can land at
+  // exactly `deadline`; its execution may post again only strictly later
+  // than deadline (latency ≥ lookahead > 0), so one extra pass drains
+  // everything due by the deadline.
+  run_window(deadline);
+  flush_mailboxes();
+  return events_dispatched() - before;
+}
+
+std::uint64_t ShardedRunner::events_dispatched() const {
+  std::uint64_t total = 0;
+  for (const auto& cell : cells_) total += cell->sched.events_dispatched();
+  return total;
+}
+
+std::uint64_t ShardedRunner::messages_posted() const {
+  std::uint64_t total = 0;
+  for (const auto& cell : cells_) total += cell->posted;
+  return total;
+}
+
+}  // namespace tlc::sim

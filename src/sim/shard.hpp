@@ -1,0 +1,139 @@
+// Sharded discrete-event execution: N per-shard Schedulers advanced in
+// conservative-lookahead windows with a deterministic cross-shard event
+// merge.
+//
+// Model (DESIGN.md §10): the device population is partitioned across N
+// shards, each owning a private Scheduler. Shards only interact through
+// explicit cross-shard messages posted with a delivery latency of at least
+// the configured lookahead (in the fleet, the backhaul link latency). That
+// bound makes a window of `lookahead` simulated time safe to run on every
+// shard in parallel with no synchronization at all: nothing a shard does
+// inside window [t, t+W) can affect another shard before t+W.
+//
+// At each window barrier the per-shard outboxes are merged and flushed in
+// one deterministic order — sorted by (deliver_at, key) — and scheduled
+// into the destination shards, where the Scheduler's exact (when, seq)
+// total order takes over. Because the window boundaries, the merge order,
+// and every per-shard event sequence are functions of the configuration
+// alone (never of thread timing or shard count), a run is byte-identical
+// for any shard count and for serial vs. parallel execution; the
+// determinism suite (tests/exp/test_fleet_determinism.cpp) pins this at
+// 1, 2, 4, and 8 shards.
+//
+// Callers must keep (deliver_at, key) unique per flush wave (the fleet
+// keys reports by cell id); ties beyond that would fall back to outbox
+// concatenation order, which depends on the shard partition.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/inline_callback.hpp"
+#include "sim/scheduler.hpp"
+
+namespace tlc::sim {
+
+class ShardedRunner {
+ public:
+  struct Config {
+    /// Number of shards (clamped to ≥ 1).
+    std::uint32_t shards = 1;
+    /// Conservative lookahead: the minimum cross-shard delivery latency.
+    /// Windows never exceed it. Must be positive.
+    Duration lookahead = std::chrono::milliseconds{5};
+    /// When false, every shard window runs on the calling thread (used by
+    /// the allocation-free steady-state test and as the jobs=1 baseline);
+    /// results are byte-identical either way.
+    bool parallel = true;
+  };
+
+  explicit ShardedRunner(Config config);
+  ~ShardedRunner();
+  ShardedRunner(const ShardedRunner&) = delete;
+  ShardedRunner& operator=(const ShardedRunner&) = delete;
+
+  [[nodiscard]] std::uint32_t shards() const {
+    return static_cast<std::uint32_t>(cells_.size());
+  }
+  [[nodiscard]] Scheduler& shard(std::uint32_t s) { return cells_[s]->sched; }
+  [[nodiscard]] const Scheduler& shard(std::uint32_t s) const {
+    return cells_[s]->sched;
+  }
+  [[nodiscard]] Duration lookahead() const { return lookahead_; }
+
+  /// Pre-sizes every shard's event pool and the cross-shard mailboxes so
+  /// the steady-state window loop performs zero heap allocations
+  /// (test_scheduler_alloc pins this).
+  void reserve(std::size_t events_per_shard, std::size_t mailbox_capacity);
+
+  /// Posts a cross-shard message from shard `src` (must be the shard whose
+  /// event is currently executing): `fn` runs on shard `dst` at
+  /// `deliver_at`, which must be no earlier than the end of the current
+  /// window — guaranteed when the sender uses a latency ≥ lookahead().
+  /// `key` orders same-time deliveries deterministically across shard
+  /// counts; keep it unique per delivery wave.
+  void post(std::uint32_t src, std::uint32_t dst, TimePoint deliver_at,
+            std::uint64_t key, InlineCallback fn);
+
+  /// Advances every shard to `deadline` in lookahead windows, flushing the
+  /// cross-shard mailboxes at each barrier. Returns the number of events
+  /// dispatched across all shards by this call. Messages addressed beyond
+  /// `deadline` remain scheduled for a later call.
+  std::uint64_t run_until(TimePoint deadline);
+
+  /// Lifetime totals across all shards.
+  [[nodiscard]] std::uint64_t events_dispatched() const;
+  [[nodiscard]] std::uint64_t messages_posted() const;
+  [[nodiscard]] std::uint64_t windows_run() const { return windows_; }
+
+ private:
+  struct Message {
+    TimePoint deliver_at;
+    std::uint64_t key = 0;
+    std::uint32_t dst = 0;
+    InlineCallback fn;
+  };
+
+  /// Per-shard state, cache-line padded: during a window the shard's
+  /// worker thread owns its Scheduler and outbox exclusively; the barrier
+  /// hands them back to the coordinating thread.
+  struct alignas(64) ShardCell {
+    Scheduler sched;
+    std::vector<Message> outbox;
+    std::uint64_t posted = 0;  // lifetime posts from this shard
+  };
+
+  void run_window(TimePoint window_end);
+  /// Merges every outbox into (deliver_at, key) order and schedules the
+  /// messages into their destination shards. Returns the earliest delivery
+  /// time flushed (TimePoint::max() when nothing was pending).
+  TimePoint flush_mailboxes();
+
+  void start_workers();
+  void worker_loop(std::uint32_t s);
+
+  Duration lookahead_;
+  bool parallel_;
+  std::vector<std::unique_ptr<ShardCell>> cells_;
+  std::vector<Message> merge_;  // barrier-time merge buffer
+  TimePoint window_end_{kTimeZero};
+  std::uint64_t windows_ = 0;
+
+  // Persistent worker team (created on the first parallel run_until):
+  // workers wait for an epoch bump, run their shard to window_end_, and
+  // report back; the coordinating thread flushes mailboxes between epochs.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;
+  std::uint32_t busy_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace tlc::sim

@@ -1,0 +1,174 @@
+// DeviceFleet SoA tests: column bookkeeping of burst/settle, the
+// CDR-vs-CDA charging gap invariant, counter-based draw stability, and
+// the order-independent digest.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "epc/fleet.hpp"
+
+namespace tlc::epc {
+namespace {
+
+FleetTrafficParams lossless() {
+  FleetTrafficParams p;
+  p.base_loss = 0.0;
+  p.congestion_loss_max = 0.0;
+  p.dip_probability = 0.0;
+  p.handover_every = 0;
+  return p;
+}
+
+TEST(DeviceFleet, CellPartitionGeometry) {
+  DeviceFleet fleet{1001, 100, 7};
+  EXPECT_EQ(fleet.devices(), 1001u);
+  EXPECT_EQ(fleet.cells(), 11u);  // last cell holds a single device
+  EXPECT_EQ(fleet.cell_of(0), 0u);
+  EXPECT_EQ(fleet.cell_of(99), 0u);
+  EXPECT_EQ(fleet.cell_of(100), 1u);
+  EXPECT_EQ(fleet.cell_of(1000), 10u);
+}
+
+TEST(DeviceFleet, SeedsUseFullMixingNotAddition) {
+  // stream_seed must avalanche: device 1 of seed 7 and device 0 of seed 8
+  // are unrelated streams.
+  DeviceFleet a{4, 2, 7};
+  DeviceFleet b{4, 2, 8};
+  EXPECT_NE(a.device_stream(1), b.device_stream(0));
+  EXPECT_EQ(a.device_stream(2), tlc::stream_seed(7, 2));
+}
+
+TEST(DeviceFleet, LosslessBurstChargesAndDeliversEqually) {
+  DeviceFleet fleet{10, 5, 1};
+  const FleetTrafficParams p = lossless();
+  const auto out = fleet.burst(3, p);
+  EXPECT_GT(out.charged_dl, 0u);
+  EXPECT_EQ(out.charged_dl, out.delivered_dl);
+  EXPECT_EQ(out.dropped_disconnect + out.dropped_radio + out.dropped_handover,
+            0u);
+  EXPECT_GT(out.next_gap, tlc::Duration::zero());
+  EXPECT_EQ(fleet.cycle_charged_dl(3), out.charged_dl);
+  EXPECT_EQ(fleet.cycle_delivered_dl(3), out.delivered_dl);
+  EXPECT_EQ(fleet.modem_rx(3), out.delivered_dl);
+  EXPECT_EQ(fleet.cell_charged_dl(0), out.charged_dl);
+  EXPECT_EQ(fleet.cell_delivered_dl(0), out.delivered_dl);
+  // Burst sizes stay within the documented [0.5, 1.5) × mean band.
+  EXPECT_GE(out.charged_dl, p.mean_burst_bytes / 2);
+  EXPECT_LT(out.charged_dl, p.mean_burst_bytes + p.mean_burst_bytes / 2);
+}
+
+TEST(DeviceFleet, ChargedNeverBelowDelivered) {
+  // The charging gap is one-sided: every loss happens downstream of the
+  // gateway, so CDR ≥ CDA for every device under any loss mix.
+  DeviceFleet fleet{50, 10, 3};
+  FleetTrafficParams p;  // defaults: all loss mechanisms on
+  p.dip_probability = 0.3;
+  p.handover_every = 4;
+  for (int round = 0; round < 20; ++round) {
+    for (FleetDeviceId d = 0; d < 50; ++d) fleet.burst(d, p);
+  }
+  std::uint64_t gap = 0;
+  for (FleetDeviceId d = 0; d < 50; ++d) {
+    ASSERT_GE(fleet.cycle_charged_dl(d), fleet.cycle_delivered_dl(d));
+    gap += fleet.cycle_charged_dl(d) - fleet.cycle_delivered_dl(d);
+  }
+  EXPECT_GT(gap, 0u);  // with dips at 30%, some loss must have occurred
+}
+
+TEST(DeviceFleet, DipDisconnectsAndReconnectIsCounted) {
+  DeviceFleet fleet{4, 2, 1};
+  FleetTrafficParams p = lossless();
+  p.dip_probability = 1.0;  // every burst dips
+  const auto dipped = fleet.burst(0, p);
+  EXPECT_EQ(dipped.delivered_dl, 0u);
+  EXPECT_EQ(dipped.dropped_disconnect, dipped.charged_dl);
+  EXPECT_FALSE(fleet.rrc_connected(0));
+  p.dip_probability = 0.0;
+  const auto recovered = fleet.burst(0, p);
+  EXPECT_TRUE(recovered.reconnected);
+  EXPECT_TRUE(fleet.rrc_connected(0));
+  EXPECT_EQ(fleet.reconnects(0), 1u);
+}
+
+TEST(DeviceFleet, SettleSplitsGapAndResetsCycleColumns) {
+  DeviceFleet fleet{6, 3, 9};
+  FleetTrafficParams p = lossless();
+  p.handover_every = 1;  // every burst loses handover_loss of its bytes
+  for (FleetDeviceId d = 0; d < 6; ++d) fleet.burst(d, p);
+
+  std::uint64_t want_charged = 0;
+  std::uint64_t want_delivered = 0;
+  for (FleetDeviceId d = 0; d < 6; ++d) {
+    want_charged += fleet.cycle_charged_dl(d);
+    want_delivered += fleet.cycle_delivered_dl(d);
+  }
+  const auto totals = fleet.settle_range(0, 6, 0, 0.5);
+  EXPECT_EQ(totals.devices, 6u);
+  EXPECT_EQ(totals.charged_dl, want_charged);
+  EXPECT_EQ(totals.delivered_dl, want_delivered);
+  EXPECT_EQ(totals.gap_dl, want_charged - want_delivered);
+  EXPECT_EQ(totals.billed_legacy, want_charged);
+  // TLC bill: delivered + 0.5 × gap per device, always within
+  // [delivered, charged].
+  EXPECT_GE(totals.billed_tlc, want_delivered);
+  EXPECT_LE(totals.billed_tlc, want_charged);
+  EXPECT_LT(totals.billed_tlc, totals.billed_legacy);  // gap > 0 here
+  for (FleetDeviceId d = 0; d < 6; ++d) {
+    EXPECT_EQ(fleet.cycle_charged_dl(d), 0u);
+    EXPECT_EQ(fleet.cycle_delivered_dl(d), 0u);
+    EXPECT_GT(fleet.billed_legacy(d), fleet.billed_tlc(d));
+    EXPECT_NE(fleet.poc_chain(d), kFnvBasis);  // chain advanced
+  }
+}
+
+TEST(DeviceFleet, PocChainsDifferAcrossDevicesAndCycles) {
+  DeviceFleet fleet{2, 2, 5};
+  const FleetTrafficParams p = lossless();
+  fleet.burst(0, p);
+  fleet.burst(1, p);
+  fleet.settle_range(0, 2, 0, 0.5);
+  const std::uint64_t after_first = fleet.poc_chain(0);
+  EXPECT_NE(fleet.poc_chain(0), fleet.poc_chain(1));
+  fleet.burst(0, p);
+  fleet.settle_range(0, 1, 1, 0.5);
+  EXPECT_NE(fleet.poc_chain(0), after_first);
+}
+
+TEST(DeviceFleet, DigestTracksSettledStateExactly) {
+  const auto run = [](std::uint64_t seed) {
+    DeviceFleet fleet{20, 5, seed};
+    const FleetTrafficParams p;
+    for (int round = 0; round < 5; ++round) {
+      for (FleetDeviceId d = 0; d < 20; ++d) fleet.burst(d, p);
+      fleet.settle_range(0, 20, static_cast<std::uint64_t>(round), 0.5);
+    }
+    return fleet.digest();
+  };
+  EXPECT_EQ(run(11), run(11));  // reproducible
+  EXPECT_NE(run(11), run(12));  // seed-sensitive
+}
+
+TEST(DeviceFleet, DrawsAreCounterBasedNotOrderBased) {
+  // Interleaving other devices' bursts must not perturb device 0's
+  // outcomes: its draws depend on its own counter alone.
+  FleetTrafficParams p;  // default loss model (deterministic given draws)
+  DeviceFleet solo{8, 4, 21};
+  DeviceFleet mixed{8, 4, 21};
+  const auto a1 = solo.burst(0, p);
+  const auto a2 = solo.burst(0, p);
+  mixed.burst(5, p);
+  const auto b1 = mixed.burst(0, p);
+  mixed.burst(3, p);
+  mixed.burst(7, p);
+  const auto b2 = mixed.burst(0, p);
+  EXPECT_EQ(a1.charged_dl, b1.charged_dl);
+  EXPECT_EQ(a1.delivered_dl, b1.delivered_dl);
+  EXPECT_EQ(a1.next_gap, b1.next_gap);
+  EXPECT_EQ(a2.charged_dl, b2.charged_dl);
+  EXPECT_EQ(a2.delivered_dl, b2.delivered_dl);
+  EXPECT_EQ(a2.next_gap, b2.next_gap);
+}
+
+}  // namespace
+}  // namespace tlc::epc

@@ -1,0 +1,175 @@
+// Fleet determinism suite: the sharded scale-out must be invisible in the
+// results. One fixed-seed scenario is run at 1, 2, 4, and 8 shards, serial
+// and parallel, and every fingerprint — totals, per-cycle rows, per-device
+// digest, OFCS merge chain, merged metrics — must be byte-identical.
+// Golden values pin the per-shard/per-device stream derivation (splitmix64
+// mixing, never `seed + index`).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "exp/fleet.hpp"
+
+namespace tlc::exp {
+namespace {
+
+FleetConfig small_config() {
+  FleetConfig cfg;
+  cfg.devices = 1200;
+  cfg.devices_per_cell = 40;  // 30 cells
+  cfg.cycles = 2;
+  cfg.cycle_length = std::chrono::milliseconds{100};
+  cfg.backhaul_latency = std::chrono::milliseconds{5};
+  cfg.traffic.mean_burst_period = std::chrono::milliseconds{20};
+  cfg.seed = 2024;
+  return cfg;
+}
+
+// ------------------------------------------------------- stream golden ---
+
+TEST(FleetStreams, GoldenStreamSeeds) {
+  // stream_seed mixes both arguments through full splitmix64 avalanche;
+  // these values pin the exact derivation (a silent change would re-seed
+  // every device in every committed benchmark).
+  EXPECT_EQ(tlc::stream_seed(42, 0), 0x3b69bdf5dcdb9d38ULL);
+  EXPECT_EQ(tlc::stream_seed(42, 1), 0x8bde7f3836611100ULL);
+  EXPECT_EQ(tlc::stream_seed(7, 123456), 0xd5ee761c30bd9ce9ULL);
+  EXPECT_EQ(tlc::stream_mix64(0), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(tlc::stream_mix64(1), 0x910a2dec89025cc1ULL);
+}
+
+TEST(FleetStreams, GoldenStreamDraws) {
+  const std::uint64_t stream = tlc::stream_seed(42, 0);
+  EXPECT_EQ(tlc::stream_draw(stream, 0), 0xa697a93c97b11128ULL);
+  EXPECT_EQ(tlc::stream_draw(stream, 1), 0x97c595b77975c38aULL);
+  EXPECT_EQ(tlc::stream_draw(stream, 2), 0x53a401a0dcfe12acULL);
+  // The offset draw at counter ~0 used for initial burst phases.
+  EXPECT_EQ(tlc::stream_draw(stream, ~std::uint64_t{0}),
+            0xb621dbe3ba44827aULL);
+  const double u = tlc::stream_unit(stream, 0);
+  EXPECT_GE(u, 0.0);
+  EXPECT_LT(u, 1.0);
+}
+
+TEST(FleetStreams, NeverSeedPlusIndexAliasing) {
+  // The failure mode stream_seed exists to prevent: with `seed + index`
+  // derivation, (seed 42, device 1) would equal (seed 43, device 0).
+  EXPECT_NE(tlc::stream_seed(42, 1), tlc::stream_seed(43, 0));
+  EXPECT_NE(tlc::stream_seed(42, 0) + 1, tlc::stream_seed(42, 1));
+}
+
+// --------------------------------------------------- shard determinism ---
+
+TEST(FleetDeterminism, ByteIdenticalAcrossShardCounts) {
+  const FleetConfig base = small_config();
+  std::string reference;
+  std::uint64_t reference_events = 0;
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    FleetConfig cfg = base;
+    cfg.shards = shards;
+    cfg.parallel = true;
+    const FleetResult result = run_fleet(cfg);
+    const std::string fp = fleet_fingerprint(result);
+    if (reference.empty()) {
+      reference = fp;
+      reference_events = result.events;
+      EXPECT_GT(result.charged_dl, 0u);
+      EXPECT_GT(result.gap_dl, 0u);  // loss model active
+    } else {
+      EXPECT_EQ(fp, reference) << "shards=" << shards;
+    }
+    // Burst events are identical; only per-shard settle events vary, by
+    // at most (shards-1) per cycle.
+    EXPECT_GE(result.events, reference_events);
+  }
+}
+
+TEST(FleetDeterminism, SerialMatchesParallel) {
+  FleetConfig cfg = small_config();
+  cfg.shards = 4;
+  cfg.parallel = false;
+  const std::string serial = fleet_fingerprint(run_fleet(cfg));
+  cfg.parallel = true;
+  const std::string parallel = fleet_fingerprint(run_fleet(cfg));
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(FleetDeterminism, RepeatRunsAreIdentical) {
+  FleetConfig cfg = small_config();
+  cfg.shards = 2;
+  EXPECT_EQ(fleet_fingerprint(run_fleet(cfg)),
+            fleet_fingerprint(run_fleet(cfg)));
+}
+
+TEST(FleetDeterminism, SeedChangesEverything) {
+  FleetConfig cfg = small_config();
+  cfg.shards = 2;
+  const FleetResult a = run_fleet(cfg);
+  cfg.seed = cfg.seed + 1;
+  const FleetResult b = run_fleet(cfg);
+  EXPECT_NE(a.digest, b.digest);
+  EXPECT_NE(a.ofcs_chain, b.ofcs_chain);
+}
+
+// ------------------------------------------------------ gap accounting ---
+
+TEST(FleetAccounting, GapIdentityAndMetricsAgree) {
+  FleetConfig cfg = small_config();
+  cfg.shards = 4;
+  const FleetResult result = run_fleet(cfg);
+  // The settled totals obey the one-sided gap identity exactly.
+  EXPECT_EQ(result.charged_dl, result.delivered_dl + result.gap_dl);
+  EXPECT_EQ(result.billed_legacy, result.charged_dl);
+  EXPECT_GE(result.billed_tlc, result.delivered_dl);
+  EXPECT_LE(result.billed_tlc, result.charged_dl);
+  // Every burst lands strictly before the horizon and every cycle is
+  // settled, so the merged per-shard counters equal the settled totals.
+  EXPECT_EQ(result.metrics.counter_or_zero("fleet.charged_dl_bytes"),
+            result.charged_dl);
+  EXPECT_EQ(result.metrics.counter_or_zero("fleet.delivered_dl_bytes"),
+            result.delivered_dl);
+  EXPECT_EQ(result.metrics.counter_or_zero("fleet.settled_devices"),
+            static_cast<std::uint64_t>(cfg.devices) * cfg.cycles);
+  // One report per cell per cycle reached the aggregator.
+  EXPECT_EQ(result.metrics.counter_or_zero("fleet.cell_reports"),
+            static_cast<std::uint64_t>(result.cells) * cfg.cycles);
+  EXPECT_EQ(result.messages,
+            static_cast<std::uint64_t>(result.cells) * cfg.cycles);
+  // Per-cycle rows sum to the grand totals.
+  std::uint64_t charged = 0;
+  for (const FleetCycleTotals& row : result.cycle_totals) {
+    charged += row.charged_dl;
+  }
+  EXPECT_EQ(charged, result.charged_dl);
+}
+
+// ------------------------------------------------------- shard knobs ---
+
+TEST(FleetKnobs, ResolveShardsPrecedence) {
+  ASSERT_EQ(unsetenv("TLC_SHARDS"), 0);
+  EXPECT_EQ(resolve_shards(5), 5u);  // explicit request wins
+  EXPECT_GE(resolve_shards(0), 1u);  // falls back to hardware
+  ASSERT_EQ(setenv("TLC_SHARDS", "3", 1), 0);
+  EXPECT_EQ(resolve_shards(0), 3u);  // env knob when no request
+  EXPECT_EQ(resolve_shards(2), 2u);  // request still wins over env
+  ASSERT_EQ(setenv("TLC_SHARDS", "garbage", 1), 0);
+  EXPECT_GE(resolve_shards(0), 1u);  // unparsable env ignored
+  ASSERT_EQ(unsetenv("TLC_SHARDS"), 0);
+}
+
+TEST(FleetKnobs, ShardsClampToCellCount) {
+  FleetConfig cfg = small_config();
+  cfg.devices = 80;
+  cfg.devices_per_cell = 40;  // 2 cells
+  cfg.shards = 8;
+  const FleetResult result = run_fleet(cfg);
+  EXPECT_EQ(result.shards, 2u);
+  EXPECT_EQ(result.cells, 2u);
+}
+
+}  // namespace
+}  // namespace tlc::exp

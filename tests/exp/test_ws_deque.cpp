@@ -1,0 +1,102 @@
+// Chase–Lev deque tests: single-owner semantics, owner/thief races under
+// real concurrency, and the no-loss/no-duplication invariant the sweep
+// engine's termination detection rests on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "exp/ws_deque.hpp"
+
+namespace tlc::exp {
+namespace {
+
+TEST(WsDeque, OwnerPopsLifo) {
+  WsDeque dq{8};
+  for (std::size_t i = 0; i < 4; ++i) dq.push_bottom(i);
+  std::size_t v = 0;
+  ASSERT_EQ(dq.pop_bottom(v), WsResult::kOk);
+  EXPECT_EQ(v, 3u);
+  ASSERT_EQ(dq.pop_bottom(v), WsResult::kOk);
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(dq.size_relaxed(), 2u);
+}
+
+TEST(WsDeque, ThiefStealsFifo) {
+  WsDeque dq{8};
+  for (std::size_t i = 0; i < 4; ++i) dq.push_bottom(i);
+  std::size_t v = 0;
+  ASSERT_EQ(dq.steal(v), WsResult::kOk);
+  EXPECT_EQ(v, 0u);
+  ASSERT_EQ(dq.steal(v), WsResult::kOk);
+  EXPECT_EQ(v, 1u);
+}
+
+TEST(WsDeque, EmptyIsEmptyFromBothEnds) {
+  WsDeque dq{4};
+  std::size_t v = 0;
+  EXPECT_EQ(dq.pop_bottom(v), WsResult::kEmpty);
+  EXPECT_EQ(dq.steal(v), WsResult::kEmpty);
+  dq.push_bottom(42);
+  ASSERT_EQ(dq.pop_bottom(v), WsResult::kOk);
+  EXPECT_EQ(v, 42u);
+  EXPECT_EQ(dq.pop_bottom(v), WsResult::kEmpty);
+  EXPECT_EQ(dq.steal(v), WsResult::kEmpty);
+}
+
+TEST(WsDeque, LastItemGoesToExactlyOneSide) {
+  // Pop and steal race for a single remaining entry; exactly one wins.
+  for (int round = 0; round < 200; ++round) {
+    WsDeque dq{2};
+    dq.push_bottom(7);
+    std::atomic<int> ok_count{0};
+    std::thread thief{[&] {
+      std::size_t v = 0;
+      for (;;) {
+        const WsResult r = dq.steal(v);
+        if (r == WsResult::kContended) continue;
+        if (r == WsResult::kOk) ok_count.fetch_add(1);
+        return;
+      }
+    }};
+    std::size_t v = 0;
+    if (dq.pop_bottom(v) == WsResult::kOk) ok_count.fetch_add(1);
+    thief.join();
+    EXPECT_EQ(ok_count.load(), 1);
+  }
+}
+
+TEST(WsDeque, ConcurrentDrainClaimsEverySlotOnce) {
+  // One owner popping, three thieves stealing: every value claimed
+  // exactly once across all participants.
+  constexpr std::size_t kSlots = 10'000;
+  WsDeque dq{kSlots};
+  for (std::size_t i = 0; i < kSlots; ++i) dq.push_bottom(i);
+
+  std::vector<std::atomic<std::uint32_t>> claims(kSlots);
+  for (auto& c : claims) c.store(0);
+
+  const auto thief = [&] {
+    std::size_t v = 0;
+    for (;;) {
+      const WsResult r = dq.steal(v);
+      if (r == WsResult::kEmpty) return;
+      if (r == WsResult::kOk) claims[v].fetch_add(1);
+    }
+  };
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < 3; ++t) thieves.emplace_back(thief);
+  std::size_t v = 0;
+  while (dq.pop_bottom(v) == WsResult::kOk) claims[v].fetch_add(1);
+  for (std::thread& t : thieves) t.join();
+  // The owner can observe kEmpty while a thief still holds the last slot;
+  // after the joins every slot must be claimed exactly once.
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    ASSERT_EQ(claims[i].load(), 1u) << "slot " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tlc::exp

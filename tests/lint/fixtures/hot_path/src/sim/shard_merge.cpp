@@ -1,0 +1,24 @@
+// Seeded hot-path-alloc violation in a sharded merge loop: the barrier
+// merge runs once per lookahead window, and allocating a fresh buffer
+// there is exactly the regression the rule exists to catch (the real
+// ShardedRunner::flush_mailboxes reuses a reserved merge buffer). Lexed
+// by the lint tests, never compiled.
+#include <vector>
+
+#include "common/hot.hpp"
+
+namespace tlc::sim {
+
+struct PendingMessage {
+  long deliver_at = 0;
+  unsigned long key = 0;
+};
+
+TLC_HOT void merge_outboxes(std::vector<PendingMessage*>& outboxes) {
+  std::vector<PendingMessage>* merged = new std::vector<PendingMessage>{};
+  for (PendingMessage* m : outboxes) merged->push_back(*m);
+  outboxes.clear();
+  delete merged;
+}
+
+}  // namespace tlc::sim

@@ -10,12 +10,14 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
 #include <vector>
 
 #include "sim/scheduler.hpp"
+#include "sim/shard.hpp"
 
 namespace {
 
@@ -127,6 +129,45 @@ TEST(SchedulerAlloc, ScheduleCancelDrainIsAllocationFree) {
   EXPECT_EQ(s.events_cancelled(),
             static_cast<std::uint64_t>(kRounds * kBurst / 2));
   EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(SchedulerAlloc, ShardedWindowLoopIsAllocationFree) {
+  // The sharded fleet's steady state: per-window schedule→dispatch on
+  // every shard plus cross-shard posts merged at each barrier. After
+  // reserve() sizes the pools, outboxes, and merge buffer, the loop must
+  // not allocate. Serial mode keeps the operator-new hook single-threaded;
+  // parallel mode runs the identical code on worker threads.
+  ShardedRunner runner{{2, std::chrono::milliseconds{5}, false}};
+  runner.reserve(8 * kBurst, 8 * kBurst);
+  std::uint64_t sink = 0;
+  TimePoint t = kTimeZero;
+  const auto run_round = [&] {
+    for (int i = 0; i < kBurst; ++i) {
+      const auto s = static_cast<std::uint32_t>(i % 2);
+      const TimePoint at = t + Duration{1000} * (i + 1);
+      runner.shard(s).schedule_at(
+          at, InlineCallback{[&runner, &sink, s, at, i] {
+            ++sink;
+            // Bounce a message to the other shard at the lookahead bound —
+            // the hottest path through post() and the barrier merge.
+            runner.post(s, 1 - s, at + runner.lookahead(),
+                        static_cast<std::uint64_t>(i),
+                        InlineCallback{[&sink] { ++sink; }});
+          }});
+    }
+    t += std::chrono::milliseconds{20};
+    runner.run_until(t);
+  };
+  for (int r = 0; r < 4; ++r) run_round();  // warm-up: capacity allocations
+
+  std::uint64_t observed = 0;
+  {
+    AllocationWindow window;
+    for (int r = 0; r < kRounds; ++r) run_round();
+    observed = window.count();
+  }
+  EXPECT_EQ(observed, 0u) << "sharded window loop allocated in steady state";
+  EXPECT_EQ(sink, static_cast<std::uint64_t>((4 + kRounds) * 2 * kBurst));
 }
 
 TEST(SchedulerAlloc, HookCountsWhenArmed) {

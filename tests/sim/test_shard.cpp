@@ -1,0 +1,160 @@
+// ShardedRunner tests: window/barrier mechanics, the cross-shard merge
+// order, the post() lookahead contract, and serial/parallel equivalence.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/shard.hpp"
+
+namespace tlc::sim {
+namespace {
+
+using std::chrono::milliseconds;
+
+TimePoint at_ms(std::int64_t ms) { return kTimeZero + milliseconds{ms}; }
+
+TEST(ShardedRunner, RejectsNonPositiveLookahead) {
+  EXPECT_THROW(ShardedRunner({2, Duration::zero(), false}),
+               std::invalid_argument);
+  EXPECT_THROW(ShardedRunner({2, milliseconds{-1}, false}),
+               std::invalid_argument);
+}
+
+TEST(ShardedRunner, ClampsShardCountToOne) {
+  ShardedRunner runner{{0, milliseconds{5}, false}};
+  EXPECT_EQ(runner.shards(), 1u);
+}
+
+TEST(ShardedRunner, RunsLocalEventsToDeadline) {
+  ShardedRunner runner{{2, milliseconds{5}, false}};
+  std::vector<int> order;
+  runner.shard(0).schedule_at(at_ms(3), InlineCallback{[&] {
+    order.push_back(0);
+  }});
+  runner.shard(1).schedule_at(at_ms(1), InlineCallback{[&] {
+    order.push_back(1);
+  }});
+  runner.shard(1).schedule_at(at_ms(7), InlineCallback{[&] {
+    order.push_back(2);
+  }});
+  const std::uint64_t ran = runner.run_until(at_ms(20));
+  EXPECT_EQ(ran, 3u);
+  EXPECT_EQ(runner.events_dispatched(), 3u);
+  ASSERT_EQ(order.size(), 3u);
+  // Shards are causally independent inside a window: serial mode runs
+  // shard 0's whole window before shard 1's, so cross-shard wall-clock
+  // interleaving is shard-ordered (0 before 1, 1), NOT global-time
+  // ordered. Only per-shard order is a guarantee — which is why fleet
+  // state must be per-shard, never shared across shards.
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 2);
+}
+
+TEST(ShardedRunner, EventAtExactDeadlineRuns) {
+  ShardedRunner runner{{1, milliseconds{5}, false}};
+  bool ran = false;
+  runner.shard(0).schedule_at(at_ms(10), InlineCallback{[&] { ran = true; }});
+  runner.run_until(at_ms(10));
+  EXPECT_TRUE(ran);
+}
+
+TEST(ShardedRunner, CrossShardMessageDeliveredAtLatency) {
+  ShardedRunner runner{{2, milliseconds{5}, false}};
+  std::vector<std::int64_t> delivered_ms;
+  runner.shard(0).schedule_at(at_ms(2), InlineCallback{[&] {
+    // Post from inside an event on shard 0: delivery honours the
+    // lookahead (2 + 5 = 7ms).
+    runner.post(0, 1, at_ms(2) + runner.lookahead(), 1,
+                InlineCallback{[&] { delivered_ms.push_back(7); }});
+  }});
+  runner.run_until(at_ms(20));
+  ASSERT_EQ(delivered_ms.size(), 1u);
+  EXPECT_EQ(delivered_ms[0], 7);
+  EXPECT_EQ(runner.messages_posted(), 1u);
+}
+
+TEST(ShardedRunner, MergeOrdersSameTimeMessagesByKey) {
+  // Three shards all post to shard 0 for the same delivery instant; the
+  // merge must order them by key, not by source shard index.
+  ShardedRunner runner{{4, milliseconds{5}, false}};
+  std::vector<int> order;
+  const TimePoint deliver = at_ms(10);
+  for (std::uint32_t src = 1; src < 4; ++src) {
+    const std::uint64_t key = 4 - src;  // shard 1 → key 3, shard 3 → key 1
+    runner.shard(src).schedule_at(
+        at_ms(1), InlineCallback{[&runner, &order, src, key, deliver] {
+          runner.post(src, 0, deliver, key, InlineCallback{[&order, key] {
+            order.push_back(static_cast<int>(key));
+          }});
+        }});
+  }
+  runner.run_until(at_ms(20));
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 3);
+}
+
+TEST(ShardedRunner, SerialAndParallelByteIdentical) {
+  // The same ping-pong workload, serial vs parallel: identical event
+  // counts and identical delivery transcript.
+  const auto run = [](bool parallel) {
+    ShardedRunner runner{{4, milliseconds{5}, parallel}};
+    runner.reserve(64, 64);
+    // Each shard posts one message to the next shard; log[dst] is only
+    // ever written by dst's own events, so parallel mode stays race-free.
+    std::vector<std::vector<std::uint64_t>> log(4);
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      runner.shard(s).schedule_at(
+          at_ms(1 + s), InlineCallback{[&runner, &log, s] {
+            const std::uint32_t dst = (s + 1) % 4;
+            runner.post(s, dst, at_ms(1 + s) + runner.lookahead(), s,
+                        InlineCallback{[&log, dst, s] {
+                          log[dst].push_back(s);
+                        }});
+          }});
+    }
+    runner.run_until(at_ms(50));
+    std::uint64_t fold = runner.events_dispatched();
+    for (const auto& l : log) {
+      fold = fold * 31 + l.size();
+      for (const std::uint64_t v : l) fold = fold * 31 + v;
+    }
+    return fold;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(ShardedRunner, WindowCountIndependentOfShardCount) {
+  // Windows advance on the global clock; the schedule of barriers depends
+  // only on lookahead and deadline.
+  const auto windows = [](std::uint32_t shards) {
+    ShardedRunner runner{{shards, milliseconds{5}, false}};
+    runner.shard(0).schedule_at(at_ms(1), InlineCallback{[] {}});
+    runner.run_until(at_ms(20));
+    return runner.windows_run();
+  };
+  EXPECT_EQ(windows(1), windows(4));
+}
+
+TEST(ShardedRunner, ReserveThenRunKeepsResults) {
+  ShardedRunner runner{{2, milliseconds{5}, true}};
+  runner.reserve(1024, 1024);
+  // Per-shard tallies: shard workers run concurrently in parallel mode.
+  std::uint64_t hits[2] = {0, 0};
+  for (int i = 0; i < 100; ++i) {
+    const auto s = static_cast<std::uint32_t>(i % 2);
+    runner.shard(s).schedule_at(at_ms(i),
+                                InlineCallback{[&hits, s] { ++hits[s]; }});
+  }
+  runner.run_until(at_ms(200));
+  EXPECT_EQ(hits[0] + hits[1], 100u);
+}
+
+}  // namespace
+}  // namespace tlc::sim

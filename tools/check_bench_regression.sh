@@ -5,13 +5,14 @@
 # CI runners are noisy shared machines, so this is advisory; a hard gate
 # would flake. Sustained warnings across pushes are the real signal.
 #
-#   tools/check_bench_regression.sh NEW_sched.json NEW_sweep.json [NEW_poc_batch.json]
+#   tools/check_bench_regression.sh NEW_sched.json NEW_sweep.json [NEW_poc_batch.json] [NEW_fleet.json]
 set -eu
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 new_sched="${1:-}"
 new_sweep="${2:-}"
 new_poc_batch="${3:-}"
+new_fleet="${4:-}"
 
 # compare FILE BASELINE KEY — prints a warning when new < 0.8 * baseline.
 compare() {
@@ -48,6 +49,11 @@ if [ -n "$new_poc_batch" ] && [ -f "$new_poc_batch" ]; then
     "batch64_pocs_per_sec"
   compare "$new_poc_batch" "$repo_root/BENCH_poc_batch.json" \
     "per_message_pocs_per_sec"
+fi
+
+if [ -n "$new_fleet" ] && [ -f "$new_fleet" ]; then
+  compare "$new_fleet" "$repo_root/BENCH_fleet.json" "shard1_events_per_sec"
+  compare "$new_fleet" "$repo_root/BENCH_fleet.json" "best_speedup"
 fi
 
 if [ "$warned" = "1" ]; then

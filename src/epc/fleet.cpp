@@ -42,6 +42,16 @@ double DeviceFleet::cell_congestion(std::uint32_t cell) {
   return static_cast<double>(mixed >> 11) * 0x1.0p-53;
 }
 
+Duration DeviceFleet::initial_offset(FleetDeviceId d,
+                                     const FleetTrafficParams& params) const {
+  assert(d < seeds_.size());
+  const double u = stream_unit(seeds_[d], kOffsetDraw);
+  const auto period = static_cast<double>(params.mean_burst_period.count());
+  auto offset = Duration{static_cast<Duration::rep>((0.5 + u) * period)};
+  if (offset <= Duration::zero()) offset = Duration{1};
+  return offset;
+}
+
 TLC_HOT DeviceFleet::BurstOutcome DeviceFleet::burst(
     FleetDeviceId d, const FleetTrafficParams& params) {
   assert(d < seeds_.size());

@@ -105,6 +105,20 @@ class DeviceFleet {
     Duration next_gap{};       // schedule the next burst this far ahead
   };
 
+  /// Reserved draw index for a device's initial burst offset. Burst draws
+  /// advance 4 per burst from 0, so this counter value is never reached
+  /// organically.
+  static constexpr std::uint64_t kOffsetDraw = ~std::uint64_t{0};
+
+  /// First-wakeup offset of device `d` from the run start: uniform in
+  /// [0.5, 1.5) × mean_burst_period, never zero, drawn at the reserved
+  /// kOffsetDraw counter so it is shard-count independent like every other
+  /// draw. Both the sharded batch runner (exp/fleet.cpp) and the online
+  /// replay (serve/replay.cpp) schedule from this one rule — their burst
+  /// streams match burst for burst.
+  [[nodiscard]] Duration initial_offset(FleetDeviceId d,
+                                        const FleetTrafficParams& params) const;
+
   /// One downlink burst (plus piggybacked uplink) for device `d`: charges
   /// at the gateway column, applies the loss model, and advances the
   /// device's draw counter. Only columns of `d` (and its cell's

@@ -7,7 +7,6 @@
 #include <thread>
 #include <vector>
 
-#include "common/rng.hpp"
 #include "sim/shard.hpp"
 
 namespace tlc::exp {
@@ -22,10 +21,6 @@ using epc::kFnvBasis;
 /// volume gets flagged by the aggregator (the fleet-scale analogue of the
 /// per-device dispute threshold).
 constexpr double kFlagGapRatio = 0.25;
-
-/// Draw index for a device's initial burst offset. Burst draws advance 4
-/// per burst from 0, so this counter value is never reached organically.
-constexpr std::uint64_t kOffsetDraw = ~std::uint64_t{0};
 
 /// Per-shard hot-path state: the metrics registry plus the counters
 /// resolved once at init, and the shard's cell/device ranges.
@@ -205,14 +200,9 @@ FleetResult run_fleet(const FleetConfig& config) {
     for (FleetDeviceId d = ss.dev_begin; d < ss.dev_end; ++d) {
       // First wakeup offset comes from the device's own stream at a
       // reserved counter, so it is shard-count independent like every
-      // other draw.
-      const double u = stream_unit(ctx.fleet.device_stream(d), kOffsetDraw);
-      const auto period =
-          static_cast<double>(config.traffic.mean_burst_period.count());
-      auto offset =
-          Duration{static_cast<Duration::rep>((0.5 + u) * period)};
-      if (offset <= Duration::zero()) offset = Duration{1};
-      const TimePoint at = kTimeZero + offset;
+      // other draw (and shared with the serve-mode replay).
+      const TimePoint at =
+          kTimeZero + ctx.fleet.initial_offset(d, config.traffic);
       if (at < ctx.horizon) schedule_burst(ctx, s, d, at);
     }
   }

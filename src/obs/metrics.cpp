@@ -62,6 +62,17 @@ void LogHistogram::observe(std::uint64_t v) {
   ++count_;
 }
 
+void LogHistogram::merge_from(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
 std::uint64_t LogHistogram::quantile(double q) const {
   if (count_ == 0) return 0;
   if (q <= 0.0) return min_;

@@ -116,6 +116,12 @@ class LogHistogram {
   [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
   [[nodiscard]] std::uint64_t max() const { return max_; }
 
+  /// Folds `other` into this histogram: bucket-wise count addition, exact
+  /// min/max/sum/count merge. Commutative and associative, so a fold over
+  /// per-thread histograms is independent of merge order — the serve
+  /// pipeline merges each consumer's latency histogram this way at drain.
+  void merge_from(const LogHistogram& other);
+
   /// Nearest-rank quantile, q in [0,1]: the upper bound of the bucket
   /// holding the ceil(q·count)-th smallest observation, clamped to
   /// [min(), max()]. Returns 0 on an empty histogram.

@@ -1,0 +1,187 @@
+// Flat-combining receipt store: the mutex-coordinated twin of MpmcQueue.
+//
+// Flat combining (Hendler et al., SPAA'10) trades lock-freedom for cache
+// locality: instead of every thread CASing on shared head/tail words, each
+// thread publishes its operation in a per-thread record, and whichever
+// thread wins a try_lock becomes the *combiner* — it walks every
+// publication record and applies all pending operations to a plain ring
+// buffer in one cache-hot pass. Threads whose operation was combined for
+// them never touch the ring at all.
+//
+// Under heavy multi-producer contention this can beat CAS loops (one
+// thread streams through a private ring instead of N threads invalidating
+// each other's cache lines); under low contention the lock round-trip
+// costs more than an uncontended CAS. bench_serve measures both; the
+// TLC_SERVE_FLAT_COMBINING CMake option selects which one backs
+// serve::ReceiptStore (see store.hpp).
+//
+// API-compatible with MpmcQueue<T>: Handle / register_thread /
+// try_enqueue / try_dequeue / approx_size / empty_quiescent / capacity.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "common/hot.hpp"
+
+namespace tlc::serve {
+
+template <typename T>
+class FcQueue {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "values are copied through publication records");
+
+ public:
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(Handle&& other) noexcept
+        : queue_(other.queue_), index_(other.index_) {
+      other.queue_ = nullptr;
+    }
+    Handle& operator=(Handle&& other) noexcept {
+      if (this != &other) {
+        release();
+        queue_ = other.queue_;
+        index_ = other.index_;
+        other.queue_ = nullptr;
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() { release(); }
+
+    [[nodiscard]] bool valid() const { return queue_ != nullptr; }
+
+   private:
+    friend class FcQueue;
+    Handle(FcQueue* queue, std::size_t index)
+        : queue_(queue), index_(index) {}
+    void release() {
+      if (queue_ != nullptr) {
+        queue_->records_[index_].claimed.store(false,
+                                               std::memory_order_release);
+        queue_ = nullptr;
+      }
+    }
+
+    FcQueue* queue_ = nullptr;
+    std::size_t index_ = 0;
+  };
+
+  FcQueue(std::size_t capacity, std::size_t max_threads)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        ring_(capacity_ + 1),
+        records_(max_threads == 0 ? 1 : max_threads) {}
+  FcQueue(const FcQueue&) = delete;
+  FcQueue& operator=(const FcQueue&) = delete;
+
+  [[nodiscard]] Handle register_thread() {
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      bool expected = false;
+      if (records_[i].claimed.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel)) {
+        return Handle{this, i};
+      }
+    }
+    assert(false && "FcQueue: more threads than max_threads registered");
+    return Handle{};
+  }
+
+  /// False when `capacity` records are in flight (backpressure).
+  TLC_HOT bool try_enqueue(const Handle& h, const T& v) {
+    Record& rec = records_[h.index_];
+    rec.value = v;
+    rec.ok = false;
+    rec.op.store(kOpEnqueue, std::memory_order_release);
+    run_or_wait(rec);
+    return rec.ok;
+  }
+
+  /// False when the queue is empty.
+  TLC_HOT bool try_dequeue(const Handle& h, T* out) {
+    Record& rec = records_[h.index_];
+    rec.ok = false;
+    rec.op.store(kOpDequeue, std::memory_order_release);
+    run_or_wait(rec);
+    if (!rec.ok) return false;
+    *out = rec.value;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t approx_size() const {
+    return depth_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool empty_quiescent() const { return approx_size() == 0; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  static constexpr std::uint32_t kOpNone = 0;
+  static constexpr std::uint32_t kOpEnqueue = 1;
+  static constexpr std::uint32_t kOpDequeue = 2;
+
+  struct alignas(64) Record {
+    std::atomic<bool> claimed{false};
+    /// kOp*: written by the owner (release), consumed by the combiner,
+    /// reset to kOpNone (release) when the result fields are ready.
+    std::atomic<std::uint32_t> op{kOpNone};
+    T value{};
+    bool ok = false;
+  };
+
+  /// Publication protocol: after posting an op, either win the combiner
+  /// lock and service everyone (including ourselves), or spin until some
+  /// other combiner services us. A thread whose op is still pending when
+  /// it wins the lock services it in its own combine pass, so no op is
+  /// ever stranded.
+  void run_or_wait(Record& rec) {
+    while (rec.op.load(std::memory_order_acquire) != kOpNone) {
+      if (lock_.try_lock()) {
+        combine();
+        lock_.unlock();
+      }
+    }
+  }
+
+  /// Called with lock_ held: apply every pending publication record to the
+  /// ring in record order.
+  void combine() {
+    for (Record& rec : records_) {
+      const std::uint32_t op = rec.op.load(std::memory_order_acquire);
+      if (op == kOpEnqueue) {
+        const std::size_t next = (tail_ + 1) % ring_.size();
+        if (next != head_) {
+          ring_[tail_] = rec.value;
+          tail_ = next;
+          rec.ok = true;
+          depth_.fetch_add(1, std::memory_order_relaxed);
+        }
+        rec.op.store(kOpNone, std::memory_order_release);
+      } else if (op == kOpDequeue) {
+        if (head_ != tail_) {
+          rec.value = ring_[head_];
+          head_ = (head_ + 1) % ring_.size();
+          rec.ok = true;
+          depth_.fetch_sub(1, std::memory_order_relaxed);
+        }
+        rec.op.store(kOpNone, std::memory_order_release);
+      }
+    }
+  }
+
+  std::size_t capacity_;
+  std::vector<T> ring_;  // one-slot-open ring: head_ == tail_ means empty
+  std::vector<Record> records_;
+  std::mutex lock_;
+  std::size_t head_ = 0;  // combiner-only
+  std::size_t tail_ = 0;  // combiner-only
+  std::atomic<std::size_t> depth_{0};
+};
+
+}  // namespace tlc::serve

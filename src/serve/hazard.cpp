@@ -1,0 +1,112 @@
+#include "serve/hazard.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tlc::serve {
+
+HazardSlot& HazardSlot::operator=(HazardSlot&& other) noexcept {
+  if (this != &other) {
+    if (domain_ != nullptr) domain_->release_row(index_);
+    domain_ = other.domain_;
+    index_ = other.index_;
+    other.domain_ = nullptr;
+  }
+  return *this;
+}
+
+HazardSlot::~HazardSlot() {
+  if (domain_ != nullptr) domain_->release_row(index_);
+}
+
+HazardDomain::HazardDomain(std::size_t max_threads,
+                           std::function<void(void*)> reclaim,
+                           std::size_t retire_threshold)
+    : max_threads_(max_threads == 0 ? 1 : max_threads),
+      threshold_(retire_threshold != 0
+                     ? retire_threshold
+                     : 2 * (max_threads == 0 ? 1 : max_threads) *
+                           kPointersPerThread),
+      reclaim_(std::move(reclaim)),
+      slots_(max_threads_ * kPointersPerThread),
+      rows_(max_threads_) {
+  for (auto& s : slots_) s.store(nullptr, std::memory_order_relaxed);
+  for (auto& r : rows_) r.limbo.reserve(threshold_ + 1);
+}
+
+HazardDomain::~HazardDomain() {
+  // No threads may still hold registrations; whatever sits in limbo is
+  // uncontended now, so hand it all back.
+  for (Row& row : rows_) {
+    assert(!row.active.load(std::memory_order_relaxed));
+    for (void* p : row.limbo) {
+      reclaim_(p);
+      reclaimed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    row.limbo.clear();
+  }
+}
+
+HazardSlot HazardDomain::register_thread() {
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    bool expected = false;
+    if (rows_[i].active.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+      return HazardSlot{this, i};
+    }
+  }
+  assert(false && "HazardDomain: more threads than max_threads registered");
+  return HazardSlot{};
+}
+
+void HazardDomain::release_row(std::size_t index) {
+  Row& row = rows_[index];
+  // Reclaim what we can; anything still covered by another thread's
+  // hazard stays in limbo for the destructor (the covering thread must
+  // deregister before the domain dies).
+  HazardSlot probe{this, index};
+  scan(probe);
+  probe.domain_ = nullptr;  // do not recurse into release_row
+  for (std::size_t hp = 0; hp < kPointersPerThread; ++hp) {
+    slots_[index * kPointersPerThread + hp].store(nullptr,
+                                                  std::memory_order_release);
+  }
+  row.active.store(false, std::memory_order_release);
+}
+
+void HazardDomain::retire(const HazardSlot& slot, void* p) {
+  Row& row = rows_[slot.index()];
+  row.limbo.push_back(p);
+  if (row.limbo.size() >= threshold_) scan(slot);
+}
+
+std::size_t HazardDomain::scan(const HazardSlot& slot) {
+  Row& row = rows_[slot.index()];
+  if (row.limbo.empty()) return 0;
+
+  // Snapshot every published hazard (seq_cst pairs with protect()).
+  std::vector<const void*> hazards;
+  hazards.reserve(slots_.size());
+  for (const auto& s : slots_) {
+    const void* p = s.load(std::memory_order_seq_cst);
+    if (p != nullptr) hazards.push_back(p);
+  }
+  std::sort(hazards.begin(), hazards.end());
+
+  std::size_t freed = 0;
+  auto keep = row.limbo.begin();
+  for (void* p : row.limbo) {
+    if (std::binary_search(hazards.begin(), hazards.end(),
+                           static_cast<const void*>(p))) {
+      *keep++ = p;  // still covered: stays in limbo
+    } else {
+      reclaim_(p);
+      ++freed;
+    }
+  }
+  row.limbo.erase(keep, row.limbo.end());
+  reclaimed_.fetch_add(freed, std::memory_order_relaxed);
+  return freed;
+}
+
+}  // namespace tlc::serve

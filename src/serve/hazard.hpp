@@ -1,0 +1,142 @@
+// Hazard-pointer domain: safe memory reclamation for the lock-free serve
+// structures.
+//
+// The MPMC receipt store recycles queue nodes through a fixed pool. A
+// dequeuer may still hold a raw pointer to a node another thread just
+// unlinked; recycling that node under the reader would hand it new contents
+// mid-read (the classic lock-free use-after-free / ABA). Hazard pointers
+// (Michael, 2004 — the HazardTracker idiom from the interval-based-
+// reclamation literature) close the hole:
+//
+//   * each registered thread owns K hazard slots; before dereferencing a
+//     shared node it publishes the pointer in a slot and re-validates the
+//     source — from then on no other thread may reclaim that node;
+//   * unlinked nodes are *retired*, not reclaimed: they sit on the
+//     retiring thread's limbo list until a scan proves no slot points at
+//     them, then the domain hands them to the owner's reclaim callback
+//     (the store pushes them back onto its free list);
+//   * scans run when a limbo list reaches its threshold, so at most
+//     threads × (threshold + K) retired nodes exist domain-wide at any
+//     instant — reclamation is bounded, never starved (progress does not
+//     depend on any particular thread running).
+//
+// The domain is an instance owned by one data structure, not a global:
+// parallel stores and tests stay isolated, exactly like MetricsRegistry.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace tlc::serve {
+
+/// Per-thread registration in a HazardDomain; move-only RAII. Obtain one
+/// per (thread, domain) via HazardDomain::register_thread() and pass it to
+/// every protect/retire call made from that thread.
+class HazardSlot {
+ public:
+  HazardSlot() = default;
+  HazardSlot(HazardSlot&& other) noexcept
+      : domain_(other.domain_), index_(other.index_) {
+    other.domain_ = nullptr;
+  }
+  HazardSlot& operator=(HazardSlot&& other) noexcept;
+  HazardSlot(const HazardSlot&) = delete;
+  HazardSlot& operator=(const HazardSlot&) = delete;
+  ~HazardSlot();
+
+  [[nodiscard]] bool valid() const { return domain_ != nullptr; }
+  [[nodiscard]] std::size_t index() const { return index_; }
+
+ private:
+  friend class HazardDomain;
+  HazardSlot(class HazardDomain* domain, std::size_t index)
+      : domain_(domain), index_(index) {}
+
+  class HazardDomain* domain_ = nullptr;
+  std::size_t index_ = 0;
+};
+
+class HazardDomain {
+ public:
+  /// Hazard pointers per registered thread. Two suffice for the
+  /// Michael-Scott queue (one on the head/tail under inspection, one on
+  /// its successor).
+  static constexpr std::size_t kPointersPerThread = 2;
+
+  /// `max_threads` bounds concurrent registrations; `reclaim` receives
+  /// every retired pointer once no hazard covers it. `retire_threshold`
+  /// (0 = default of 2 × total hazard slots) sets the limbo-list length
+  /// that triggers a scan.
+  HazardDomain(std::size_t max_threads, std::function<void(void*)> reclaim,
+               std::size_t retire_threshold = 0);
+  HazardDomain(const HazardDomain&) = delete;
+  HazardDomain& operator=(const HazardDomain&) = delete;
+  ~HazardDomain();
+
+  /// Claims a free thread row; the returned slot releases it on
+  /// destruction (after reclaiming everything still in its limbo list).
+  /// Aborts (assert) when more than max_threads register concurrently.
+  [[nodiscard]] HazardSlot register_thread();
+
+  /// Publishes `p` in hazard pointer `hp` (0..kPointersPerThread-1) of the
+  /// calling thread's row. The caller must re-validate its source pointer
+  /// after publishing (the protect-then-verify handshake); sequential
+  /// consistency on the store makes the verification sound.
+  void protect(const HazardSlot& slot, std::size_t hp, const void* p) {
+    slots_[slot.index() * kPointersPerThread + hp].store(
+        p, std::memory_order_seq_cst);
+  }
+
+  /// Clears hazard pointer `hp` of the calling thread's row.
+  void clear(const HazardSlot& slot, std::size_t hp) {
+    slots_[slot.index() * kPointersPerThread + hp].store(
+        nullptr, std::memory_order_release);
+  }
+
+  /// Hands `p` to the domain for deferred reclamation. Triggers a scan
+  /// when this thread's limbo list reaches the threshold.
+  void retire(const HazardSlot& slot, void* p);
+
+  /// Forces a scan of the calling thread's limbo list, reclaiming every
+  /// entry no hazard covers. Returns the number reclaimed.
+  std::size_t scan(const HazardSlot& slot);
+
+  /// Retired-but-unreclaimed entries on this thread's limbo list.
+  [[nodiscard]] std::size_t limbo_size(const HazardSlot& slot) const {
+    return rows_[slot.index()].limbo.size();
+  }
+
+  /// Upper bound on any single limbo list (threshold; a scan fires at this
+  /// size, and everything uncovered by a hazard is reclaimed).
+  [[nodiscard]] std::size_t retire_threshold() const { return threshold_; }
+
+  /// Lifetime count of reclaimed (handed-back) pointers.
+  [[nodiscard]] std::uint64_t reclaimed() const {
+    return reclaimed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class HazardSlot;
+
+  struct alignas(64) Row {
+    std::atomic<bool> active{false};
+    /// Limbo list: retired pointers awaiting a scan. Touched only by the
+    /// owning thread, so a plain vector is race-free.
+    std::vector<void*> limbo;
+  };
+
+  void release_row(std::size_t index);
+
+  std::size_t max_threads_;
+  std::size_t threshold_;
+  std::function<void(void*)> reclaim_;
+  /// max_threads × kPointersPerThread hazard pointers, flat.
+  std::vector<std::atomic<const void*>> slots_;
+  std::vector<Row> rows_;
+  std::atomic<std::uint64_t> reclaimed_{0};
+};
+
+}  // namespace tlc::serve

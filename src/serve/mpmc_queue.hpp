@@ -1,0 +1,261 @@
+// Lock-free MPMC receipt store: a Michael-Scott queue over a fixed node
+// pool.
+//
+// This is the ingest spine of the online serving pipeline: gateway-side
+// producers enqueue settled ExchangeRecords, consumer threads dequeue and
+// settle them. Requirements that shaped the design:
+//
+//   * multi-producer/multi-consumer, lock-free: a stalled thread never
+//     blocks others (MS queue CAS protocol; helpers swing a lagging tail);
+//   * no allocation on the hot path: nodes come from a pre-sized pool via
+//     a Treiber free list whose head packs {tag32, idx32} so index reuse
+//     cannot ABA the stack;
+//   * no use-after-free on reads: unlinked nodes are retired through a
+//     HazardDomain and only return to the free list once no thread's
+//     hazard pointer covers them (protect-then-revalidate on head/tail);
+//   * bounded: try_enqueue fails (backpressure) instead of growing when
+//     `capacity` records are in flight.
+//
+// Threads register once (RAII Handle) and pass the handle to every
+// operation — the handle carries the thread's hazard slot, so operations
+// themselves are allocation- and registration-free.
+//
+// The flat-combining twin (fc_queue.hpp) implements the same concept;
+// store.hpp selects one as serve::ReceiptStore at compile time.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "common/hot.hpp"
+#include "serve/hazard.hpp"
+
+namespace tlc::serve {
+
+template <typename T>
+class MpmcQueue {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "values are copied in and out of recycled queue nodes");
+
+ public:
+  /// Per-thread registration: hazard slot + queue binding. Move-only; the
+  /// owning thread must keep it alive across all its queue operations.
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(Handle&&) noexcept = default;
+    Handle& operator=(Handle&&) noexcept = default;
+    [[nodiscard]] bool valid() const { return slot_.valid(); }
+
+   private:
+    friend class MpmcQueue;
+    explicit Handle(HazardSlot slot) : slot_(std::move(slot)) {}
+    HazardSlot slot_;
+  };
+
+  /// `capacity` bounds in-flight records; `max_threads` bounds concurrent
+  /// Handle registrations. The pool adds headroom for the dummy node and
+  /// the worst-case retired-but-unreclaimed population, so a try_enqueue
+  /// only fails when the queue genuinely holds `capacity` records.
+  MpmcQueue(std::size_t capacity, std::size_t max_threads)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        nodes_(capacity_ + 1 +
+               (max_threads == 0 ? 1 : max_threads) *
+                   domain_retire_bound(max_threads)),
+        domain_(
+            max_threads, [this](void* p) { reclaim_node(p); },
+            /*retire_threshold=*/0) {
+    // Thread the whole pool onto the free list, then take one node as the
+    // MS dummy.
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      free_push(static_cast<std::uint32_t>(i));
+    }
+    Node* dummy = free_pop();
+    assert(dummy != nullptr);
+    dummy->next.store(nullptr, std::memory_order_relaxed);
+    head_.store(dummy, std::memory_order_relaxed);
+    tail_.store(dummy, std::memory_order_relaxed);
+  }
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+  ~MpmcQueue() = default;
+
+  [[nodiscard]] Handle register_thread() {
+    return Handle{domain_.register_thread()};
+  }
+
+  /// Copies `v` into the queue. Returns false when `capacity` records are
+  /// already in flight (the caller applies backpressure and retries).
+  TLC_HOT bool try_enqueue(const Handle& h, const T& v) {
+    if (depth_.load(std::memory_order_relaxed) >=
+        static_cast<std::int64_t>(capacity_)) {
+      return false;  // backpressure before touching the pool
+    }
+    Node* n = free_pop();
+    if (n == nullptr) return false;
+    n->value = v;
+    n->next.store(nullptr, std::memory_order_relaxed);
+    for (;;) {
+      Node* t = tail_.load(std::memory_order_seq_cst);
+      domain_.protect(h.slot_, 0, t);
+      if (tail_.load(std::memory_order_seq_cst) != t) continue;
+      Node* next = t->next.load(std::memory_order_seq_cst);
+      if (next != nullptr) {
+        // Tail lags: help swing it, then retry.
+        tail_.compare_exchange_weak(t, next, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed);
+        continue;
+      }
+      Node* expected = nullptr;
+      if (t->next.compare_exchange_weak(expected, n,
+                                        std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        tail_.compare_exchange_strong(t, n, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed);
+        domain_.clear(h.slot_, 0);
+        depth_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
+
+  /// Pops the oldest record into `*out`; false when the queue is empty.
+  TLC_HOT bool try_dequeue(const Handle& h, T* out) {
+    for (;;) {
+      Node* hd = head_.load(std::memory_order_seq_cst);
+      domain_.protect(h.slot_, 0, hd);
+      if (head_.load(std::memory_order_seq_cst) != hd) continue;
+      Node* t = tail_.load(std::memory_order_seq_cst);
+      Node* next = hd->next.load(std::memory_order_seq_cst);
+      domain_.protect(h.slot_, 1, next);
+      if (head_.load(std::memory_order_seq_cst) != hd) continue;
+      if (next == nullptr) {  // dummy is the only node: empty
+        domain_.clear(h.slot_, 0);
+        domain_.clear(h.slot_, 1);
+        return false;
+      }
+      if (hd == t) {
+        // Tail lags behind a non-empty queue: help, retry.
+        tail_.compare_exchange_weak(t, next, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed);
+        continue;
+      }
+      // Read the value before the swing: `next` is hazard-protected, so
+      // its node cannot be recycled (and its value overwritten) under us;
+      // if the CAS loses we simply discard the copy.
+      const T value = next->value;
+      if (head_.compare_exchange_weak(hd, next, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+        domain_.clear(h.slot_, 0);
+        domain_.clear(h.slot_, 1);
+        *out = value;
+        depth_.fetch_sub(1, std::memory_order_relaxed);
+        // The old dummy is unlinked but may still be referenced by
+        // concurrent dequeuers: retire, never free directly.
+        domain_.retire(h.slot_, hd);
+        return true;
+      }
+    }
+  }
+
+  /// Approximate in-flight record count (exact when quiescent).
+  [[nodiscard]] std::size_t approx_size() const {
+    const auto d = depth_.load(std::memory_order_relaxed);
+    return d < 0 ? 0 : static_cast<std::size_t>(d);
+  }
+
+  /// Exact emptiness when no operation is concurrently in flight.
+  [[nodiscard]] bool empty_quiescent() const {
+    return head_.load(std::memory_order_seq_cst)
+               ->next.load(std::memory_order_seq_cst) == nullptr;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Reclamation internals, exposed for the hazard tests and bench.
+  [[nodiscard]] const HazardDomain& domain() const { return domain_; }
+
+ private:
+  struct alignas(64) Node {
+    std::atomic<Node*> next{nullptr};
+    std::atomic<std::uint32_t> free_next{kNilIdx};
+    T value{};
+  };
+
+  static constexpr std::uint32_t kNilIdx = ~std::uint32_t{0};
+
+  /// Worst-case retired-but-unreclaimed nodes per thread: a scan fires at
+  /// the domain's default threshold (2 × total hazard slots), so limbo
+  /// lists never exceed it. Mirrors HazardDomain's default threshold rule.
+  [[nodiscard]] static std::size_t domain_retire_bound(
+      std::size_t max_threads) {
+    const std::size_t threads = max_threads == 0 ? 1 : max_threads;
+    return 2 * threads * HazardDomain::kPointersPerThread;
+  }
+
+  [[nodiscard]] std::uint32_t index_of(const Node* n) const {
+    return static_cast<std::uint32_t>(n - nodes_.data());
+  }
+
+  /// Treiber push. The packed head {tag32, idx32} increments its tag on
+  /// every successful CAS, so a concurrent pop/reuse/re-push of the same
+  /// index cannot be mistaken for an unchanged stack (ABA).
+  void free_push(std::uint32_t idx) {
+    std::uint64_t head = free_head_.load(std::memory_order_relaxed);
+    for (;;) {
+      nodes_[idx].free_next.store(static_cast<std::uint32_t>(head),
+                                  std::memory_order_relaxed);
+      const std::uint64_t next_head =
+          ((head >> 32) + 1) << 32 | static_cast<std::uint64_t>(idx);
+      if (free_head_.compare_exchange_weak(head, next_head,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  TLC_HOT Node* free_pop() {
+    std::uint64_t head = free_head_.load(std::memory_order_acquire);
+    for (;;) {
+      const auto idx = static_cast<std::uint32_t>(head);
+      if (idx == kNilIdx) return nullptr;
+      // free_next may be concurrently rewritten if another thread pops and
+      // reuses this node — the tag check below rejects that interleaving,
+      // so a stale read here is harmless.
+      const std::uint32_t next =
+          nodes_[idx].free_next.load(std::memory_order_relaxed);
+      const std::uint64_t next_head =
+          ((head >> 32) + 1) << 32 | static_cast<std::uint64_t>(next);
+      if (free_head_.compare_exchange_weak(head, next_head,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+        return &nodes_[idx];
+      }
+    }
+  }
+
+  /// HazardDomain reclaim callback: a retired node with no hazard cover
+  /// goes back on the free list for the next enqueue.
+  void reclaim_node(void* p) { free_push(index_of(static_cast<Node*>(p))); }
+
+  std::size_t capacity_;
+  std::vector<Node> nodes_;
+  /// Packed Treiber head: tag in the high 32 bits, node index in the low.
+  std::atomic<std::uint64_t> free_head_{
+      (std::uint64_t{0} << 32) | kNilIdx};
+  /// Declared AFTER the pool on purpose: ~HazardDomain reclaims leftover
+  /// limbo nodes through reclaim_node(), which pushes onto the free list —
+  /// the pool and free head must still be alive when that runs (members
+  /// destruct in reverse declaration order).
+  HazardDomain domain_;
+  alignas(64) std::atomic<Node*> head_{nullptr};
+  alignas(64) std::atomic<Node*> tail_{nullptr};
+  alignas(64) std::atomic<std::int64_t> depth_{0};
+};
+
+}  // namespace tlc::serve

@@ -1,0 +1,62 @@
+// Fleet replay through the live pipeline — the batch-equivalence driver.
+//
+// run_replay() runs the SAME fleet scenario exp::run_fleet() runs, but
+// through the online serving path: producer threads walk cell-aligned
+// device ranges cycle-major, generate every burst and settlement from the
+// DeviceFleet's counter-based streams, and submit one ExchangeRecord per
+// (device, cycle) — plus one kCellReport per (cell, cycle) — into a
+// ServePipeline whose consumers re-derive and accept each bill.
+//
+// Because every draw a device makes is a pure function of (seed, device,
+// counter) — never of event order — and every accumulator the pipeline
+// keeps is a commutative sum (or a (cycle, cell)-sorted fold, for the OFCS
+// chain), the drained totals are byte-identical to the batch run's
+// FleetResult for ANY producer/consumer count, including 1/1 (the
+// serial ≡ concurrent determinism test) and to the sharded batch runner
+// (the tlc_serve cross-check). Tie-breaking matches the batch scheduler:
+// at a cycle boundary the settlement runs before any burst stamped at the
+// same instant, so a burst landing exactly on the boundary belongs to the
+// next cycle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "epc/fleet.hpp"
+#include "serve/pipeline.hpp"
+
+namespace tlc::serve {
+
+struct ReplayConfig {
+  std::size_t devices = 100'000;
+  std::uint32_t devices_per_cell = 200;
+  std::uint32_t cycles = 4;
+  Duration cycle_length = std::chrono::seconds{1};
+  epc::FleetTrafficParams traffic;
+  double loss_weight = 0.5;
+  std::uint64_t seed = 42;
+
+  /// Serving topology. Producers partition the fleet on cell boundaries
+  /// (like batch shards); results are identical for any combination.
+  std::size_t producers = 2;
+  std::size_t consumers = 2;
+  std::size_t store_capacity = 4096;
+  /// Optional time backend for settle-latency accounting; results are
+  /// stamp-independent either way.
+  const sim::ClockSource* clock = nullptr;
+};
+
+struct ReplayResult {
+  std::uint64_t devices = 0;
+  std::uint32_t cells = 0;
+  /// Drained pipeline accumulation: totals, per-cycle rows, gap causes,
+  /// OFCS chain, flagged count, settle latency.
+  PipelineStats stats;
+  /// Fleet state digest after the replay settled every device — compares
+  /// against exp::FleetResult::digest.
+  std::uint64_t fleet_digest = 0;
+};
+
+[[nodiscard]] ReplayResult run_replay(const ReplayConfig& config);
+
+}  // namespace tlc::serve

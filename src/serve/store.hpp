@@ -1,0 +1,31 @@
+// serve::ReceiptStore — the concurrent store backing the live pipeline.
+//
+// Two interchangeable backends implement the same bounded MPMC contract:
+//
+//   * MpmcQueue  — lock-free Michael-Scott queue, hazard-pointer
+//                  reclamation (default);
+//   * FcQueue    — flat-combining ring, one combiner applies everyone's
+//                  published ops.
+//
+// The backend is a compile-time choice (CMake option
+// TLC_SERVE_FLAT_COMBINING → -DTLC_SERVE_FLAT_COMBINING=1) so the hot
+// path carries no indirection; bench_serve links both headers directly
+// and measures them side by side regardless of which one the pipeline
+// uses.
+#pragma once
+
+#include "serve/fc_queue.hpp"
+#include "serve/mpmc_queue.hpp"
+#include "serve/record.hpp"
+
+namespace tlc::serve {
+
+#if defined(TLC_SERVE_FLAT_COMBINING) && TLC_SERVE_FLAT_COMBINING
+using ReceiptStore = FcQueue<ExchangeRecord>;
+inline constexpr const char* kReceiptStoreBackend = "flat_combining";
+#else
+using ReceiptStore = MpmcQueue<ExchangeRecord>;
+inline constexpr const char* kReceiptStoreBackend = "mpmc_hazard";
+#endif
+
+}  // namespace tlc::serve

@@ -1,0 +1,9 @@
+#include "sim/clock_source.hpp"
+
+#include "sim/scheduler.hpp"
+
+namespace tlc::sim {
+
+TimePoint SchedulerClockSource::now() const { return scheduler_->now(); }
+
+}  // namespace tlc::sim

@@ -1,0 +1,261 @@
+// ServePipeline (serve/pipeline.hpp): the live settlement recomputation
+// check, exactly-once accounting (ingested == settled + rejected), per-cycle
+// and per-cause accumulation, the (cycle, cell)-ordered OFCS fold, latency
+// stamping, and metrics publication.
+#include "serve/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "epc/fleet.hpp"
+#include "sim/clock_source.hpp"
+
+namespace tlc::serve {
+namespace {
+
+/// A settlement whose bills recompute cleanly under loss_weight 0.5.
+ExchangeRecord valid_settlement(std::uint32_t device, std::uint32_t cycle,
+                                std::uint64_t charged, std::uint64_t gap) {
+  ExchangeRecord rec;
+  rec.device = device;
+  rec.cell = device / 10;
+  rec.cycle = cycle;
+  rec.charged_dl = charged;
+  rec.delivered_dl = charged - gap;
+  rec.gap_by_cause[0] = gap / 2;
+  rec.gap_by_cause[1] = gap / 4;
+  rec.gap_by_cause[2] = gap - gap / 2 - gap / 4;
+  rec.charged_ul = 17;
+  rec.billed_legacy = charged;
+  rec.billed_tlc = rec.delivered_dl +
+                   static_cast<std::uint64_t>(0.5 * static_cast<double>(gap));
+  rec.bursts = 3;
+  rec.reconnects = 1;
+  return rec;
+}
+
+PipelineConfig small_config() {
+  PipelineConfig cfg;
+  cfg.consumers = 2;
+  cfg.max_producers = 2;
+  cfg.store_capacity = 64;
+  cfg.cycles = 2;
+  cfg.loss_weight = 0.5;
+  return cfg;
+}
+
+TEST(ServePipeline, AcceptsValidSettlementsAndAccumulates) {
+  ServePipeline pipeline{small_config()};
+  ReceiptStore::Handle h = pipeline.register_producer();
+  pipeline.submit(h, valid_settlement(0, 0, 1000, 100));
+  pipeline.submit(h, valid_settlement(1, 0, 2000, 0));
+  pipeline.submit(h, valid_settlement(2, 1, 500, 500));
+  pipeline.drain();
+
+  const PipelineStats& s = pipeline.stats();
+  EXPECT_EQ(s.ingested, 3u);
+  EXPECT_EQ(s.settled, 3u);
+  EXPECT_EQ(s.rejected, 0u);
+  EXPECT_EQ(s.charged_dl, 3500u);
+  EXPECT_EQ(s.delivered_dl, 2900u);
+  EXPECT_EQ(s.gap_dl, 600u);
+  EXPECT_EQ(s.billed_legacy, 3500u);
+  EXPECT_EQ(s.billed_tlc, 2900u + 50u + 250u);
+  EXPECT_EQ(s.charged_ul, 3u * 17u);
+  EXPECT_EQ(s.bursts, 9u);
+  EXPECT_EQ(s.reconnects, 3u);
+  // Per-cause split: 100 → 50/25/25, 500 → 250/125/125.
+  EXPECT_EQ(s.gap_disconnect, 300u);
+  EXPECT_EQ(s.gap_radio, 150u);
+  EXPECT_EQ(s.gap_handover, 150u);
+  EXPECT_EQ(s.gap_disconnect + s.gap_radio + s.gap_handover, s.gap_dl);
+  ASSERT_EQ(s.cycle_rows.size(), 2u);
+  EXPECT_EQ(s.cycle_rows[0].settled_devices, 2u);
+  EXPECT_EQ(s.cycle_rows[0].charged_dl, 3000u);
+  EXPECT_EQ(s.cycle_rows[1].settled_devices, 1u);
+  EXPECT_EQ(s.cycle_rows[1].gap_dl, 500u);
+  EXPECT_TRUE(pipeline.store_empty());
+}
+
+TEST(ServePipeline, RejectsRecordsThatFailRecomputation) {
+  ServePipeline pipeline{small_config()};
+  ReceiptStore::Handle h = pipeline.register_producer();
+
+  ExchangeRecord tampered_bill = valid_settlement(0, 0, 1000, 100);
+  tampered_bill.billed_tlc += 1;  // claims more than the views support
+  pipeline.submit(h, tampered_bill);
+
+  ExchangeRecord tampered_legacy = valid_settlement(1, 0, 1000, 100);
+  tampered_legacy.billed_legacy -= 7;
+  pipeline.submit(h, tampered_legacy);
+
+  ExchangeRecord bad_causes = valid_settlement(2, 0, 1000, 100);
+  bad_causes.gap_by_cause[1] += 1;  // causes no longer sum to the gap
+  pipeline.submit(h, bad_causes);
+
+  ExchangeRecord bad_cycle = valid_settlement(3, 0, 1000, 0);
+  bad_cycle.cycle = 2;  // out of range for cycles = 2
+  pipeline.submit(h, bad_cycle);
+
+  ExchangeRecord inflated = valid_settlement(4, 0, 1000, 0);
+  inflated.delivered_dl = 2000;  // delivered > charged is malformed
+  pipeline.submit(h, inflated);
+
+  pipeline.submit(h, valid_settlement(5, 0, 1000, 100));  // control
+  pipeline.drain();
+
+  const PipelineStats& s = pipeline.stats();
+  EXPECT_EQ(s.ingested, 6u);
+  EXPECT_EQ(s.rejected, 5u);
+  EXPECT_EQ(s.settled, 1u);
+  EXPECT_EQ(s.ingested, s.settled + s.rejected);
+  // Rejected records must not leak into any accumulator.
+  EXPECT_EQ(s.charged_dl, 1000u);
+  EXPECT_EQ(s.cycle_rows[0].settled_devices, 1u);
+}
+
+TEST(ServePipeline, CellReportsFoldIntoOfcsChainInCycleCellOrder) {
+  PipelineConfig cfg = small_config();
+  cfg.consumers = 1;  // ordering of the fold must NOT depend on this
+  ServePipeline pipeline{cfg};
+  ReceiptStore::Handle h = pipeline.register_producer();
+
+  // Submit out of (cycle, cell) order; the drain-time sort canonicalises.
+  const std::vector<CellReport> reports{
+      {1, 2, 1000, 900},
+      {0, 5, 2000, 2000},
+      {1, 0, 800, 100},  // gap 700 > 0.25 × 800 → flagged
+      {0, 1, 400, 390},
+  };
+  for (const CellReport& r : reports) {
+    ExchangeRecord rec;
+    rec.kind = RecordKind::kCellReport;
+    rec.cycle = r.cycle;
+    rec.cell = r.cell;
+    rec.charged_dl = r.charged_dl;
+    rec.delivered_dl = r.delivered_dl;
+    pipeline.submit(h, rec);
+  }
+  pipeline.drain();
+
+  const PipelineStats& s = pipeline.stats();
+  EXPECT_EQ(s.cell_reports, 4u);
+  EXPECT_EQ(s.settled, 4u);  // accepted reports count as settled
+  EXPECT_EQ(s.flagged_reports, 1u);
+  // Cell reports feed only the OFCS fold, never the billing totals.
+  EXPECT_EQ(s.charged_dl, 0u);
+
+  // Reference fold in (cycle, cell) order: (0,1), (0,5), (1,0), (1,2).
+  std::uint64_t chain = epc::kFnvBasis;
+  for (const CellReport& r : {reports[3], reports[1], reports[2],
+                              reports[0]}) {
+    chain = epc::fnv1a64(chain, r.cycle);
+    chain = epc::fnv1a64(chain, r.cell);
+    chain = epc::fnv1a64(chain, r.charged_dl);
+    chain = epc::fnv1a64(chain, r.delivered_dl);
+  }
+  EXPECT_EQ(s.ofcs_chain, chain);
+}
+
+TEST(ServePipeline, ConservationHoldsUnderConcurrentProducers) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 5'000;
+  PipelineConfig cfg = small_config();
+  cfg.max_producers = kProducers;
+  ServePipeline pipeline{cfg};
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pipeline, p] {
+      ReceiptStore::Handle h = pipeline.register_producer();
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        ExchangeRecord rec = valid_settlement(
+            static_cast<std::uint32_t>(p * kPerProducer + i),
+            static_cast<std::uint32_t>(i % 2), 1000, i % 200);
+        if (i % 10 == 0) rec.billed_tlc += 1;  // tamper every 10th
+        pipeline.submit(h, rec);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  pipeline.drain();
+
+  const PipelineStats& s = pipeline.stats();
+  EXPECT_EQ(s.ingested, kProducers * kPerProducer);
+  EXPECT_EQ(s.ingested, s.settled + s.rejected);
+  EXPECT_EQ(s.rejected, kProducers * (kPerProducer / 10));
+  EXPECT_TRUE(pipeline.store_empty());
+  EXPECT_EQ(pipeline.store_depth(), 0u);
+}
+
+TEST(ServePipeline, StampsSettleLatencyWhenClockProvided) {
+  // Start away from kTimeZero so enqueued_ns is nonzero (0 means
+  // "unstamped" and is skipped).
+  sim::ManualClockSource clock{kTimeZero + std::chrono::seconds{1}};
+  PipelineConfig cfg = small_config();
+  cfg.clock = &clock;
+  ServePipeline pipeline{cfg};
+  ReceiptStore::Handle h = pipeline.register_producer();
+  for (std::uint32_t d = 0; d < 10; ++d) {
+    pipeline.submit(h, valid_settlement(d, 0, 1000, 50));
+    clock.advance_by(std::chrono::microseconds{10});
+  }
+  pipeline.drain();
+  EXPECT_EQ(pipeline.stats().settle_latency.count(), 10u);
+}
+
+TEST(ServePipeline, NoClockMeansNoLatencySamples) {
+  ServePipeline pipeline{small_config()};
+  ReceiptStore::Handle h = pipeline.register_producer();
+  pipeline.submit(h, valid_settlement(0, 0, 1000, 50));
+  pipeline.drain();
+  EXPECT_EQ(pipeline.stats().settle_latency.count(), 0u);
+}
+
+TEST(ServePipeline, PublishExportsServeCounters) {
+  ServePipeline pipeline{small_config()};
+  ReceiptStore::Handle h = pipeline.register_producer();
+  pipeline.submit(h, valid_settlement(0, 0, 1000, 100));
+  ExchangeRecord bad = valid_settlement(1, 0, 1000, 100);
+  bad.billed_tlc += 3;
+  pipeline.submit(h, bad);
+  ExchangeRecord report;
+  report.kind = RecordKind::kCellReport;
+  report.cycle = 0;
+  report.cell = 0;
+  report.charged_dl = 1000;
+  report.delivered_dl = 900;
+  pipeline.submit(h, report);
+  pipeline.drain();
+
+  obs::MetricsRegistry registry;
+  pipeline.publish(&registry);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_or_zero("serve.ingested"), 3u);
+  EXPECT_EQ(snap.counter_or_zero("serve.settled"), 2u);
+  EXPECT_EQ(snap.counter_or_zero("serve.rejected"), 1u);
+  EXPECT_EQ(snap.counter_or_zero("serve.cell_reports"), 1u);
+  EXPECT_EQ(snap.counter_or_zero("serve.charged_dl_bytes"), 1000u);
+  EXPECT_EQ(snap.counter_or_zero("serve.delivered_dl_bytes"), 900u);
+  EXPECT_EQ(snap.counter_or_zero("serve.gap_dl_bytes"), 100u);
+  EXPECT_EQ(snap.counter_or_zero("serve.gap_disconnect_bytes"), 50u);
+  EXPECT_EQ(snap.counter_or_zero("serve.gap_radio_bytes"), 25u);
+  EXPECT_EQ(snap.counter_or_zero("serve.gap_handover_bytes"), 25u);
+  EXPECT_TRUE(snap.log_histograms.contains("serve.settle_latency_ns"));
+}
+
+TEST(ServePipeline, DrainIsIdempotentAndDestructorSafe) {
+  ServePipeline pipeline{small_config()};
+  ReceiptStore::Handle h = pipeline.register_producer();
+  pipeline.submit(h, valid_settlement(0, 0, 1000, 0));
+  pipeline.drain();
+  const std::uint64_t first = pipeline.stats().ingested;
+  pipeline.drain();  // second drain must not double-count or deadlock
+  EXPECT_EQ(pipeline.stats().ingested, first);
+}
+
+}  // namespace
+}  // namespace tlc::serve

@@ -5,7 +5,7 @@
 # CI runners are noisy shared machines, so this is advisory; a hard gate
 # would flake. Sustained warnings across pushes are the real signal.
 #
-#   tools/check_bench_regression.sh NEW_sched.json NEW_sweep.json [NEW_poc_batch.json] [NEW_fleet.json]
+#   tools/check_bench_regression.sh NEW_sched.json NEW_sweep.json [NEW_poc_batch.json] [NEW_fleet.json] [NEW_serve.json]
 set -eu
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -13,6 +13,7 @@ new_sched="${1:-}"
 new_sweep="${2:-}"
 new_poc_batch="${3:-}"
 new_fleet="${4:-}"
+new_serve="${5:-}"
 
 # compare FILE BASELINE KEY — prints a warning when new < 0.8 * baseline.
 compare() {
@@ -22,7 +23,10 @@ compare() {
   old_v="$(sed -n "s/^.*\"$key\": \([0-9.]*\).*$/\1/p" "$baseline" | head -1)"
   new_v="$(sed -n "s/^.*\"$key\": \([0-9.]*\).*$/\1/p" "$file" | head -1)"
   if [ -z "$old_v" ] || [ -z "$new_v" ]; then
-    echo "NOTE: $key missing in $file or $baseline; skipped."
+    # A missing key is a real finding, not noise: a renamed metric or a
+    # stale baseline would otherwise disable its gate silently.
+    echo "WARN: $key missing in $file or $baseline; comparison impossible."
+    warned=1
     return 0
   fi
   ok="$(awk -v n="$new_v" -v o="$old_v" 'BEGIN { print (n >= 0.8 * o) ? 1 : 0 }')"
@@ -54,6 +58,17 @@ fi
 if [ -n "$new_fleet" ] && [ -f "$new_fleet" ]; then
   compare "$new_fleet" "$repo_root/BENCH_fleet.json" "shard1_events_per_sec"
   compare "$new_fleet" "$repo_root/BENCH_fleet.json" "best_speedup"
+fi
+
+if [ -n "$new_serve" ] && [ -f "$new_serve" ]; then
+  compare "$new_serve" "$repo_root/BENCH_serve.json" \
+    "store_mpmc_threads1_ops_per_sec"
+  compare "$new_serve" "$repo_root/BENCH_serve.json" \
+    "store_fc_threads1_ops_per_sec"
+  compare "$new_serve" "$repo_root/BENCH_serve.json" \
+    "serve_threads1_records_per_sec"
+  compare "$new_serve" "$repo_root/BENCH_serve.json" \
+    "serve_threads4_records_per_sec"
 fi
 
 if [ "$warned" = "1" ]; then

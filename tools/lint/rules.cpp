@@ -563,6 +563,9 @@ const std::map<std::string, std::set<std::string>>& allowed_deps() {
       {"exp",
        {"common", "obs", "charging", "epc", "monitor", "sim", "tlc", "wire",
         "workloads"}},
+      {"serve",
+       {"common", "obs", "charging", "crypto", "epc", "sim", "tlc",
+        "wire"}},
       {"fault",
        {"common", "obs", "charging", "crypto", "exp", "net", "sim", "tlc",
         "wire"}},
